@@ -1,0 +1,49 @@
+// Figure 7 — singly and doubly linked lists: our lazylist and dlist
+// (blocking + lock-free) vs Harris's lock-free list and the optimized
+// Harris list whose finds do not help.
+//
+// Paper shapes: harris_list_opt fastest (~16% over lazylist-lf);
+// dlist costs ~13% over lazylist (back pointers); lock-free versions of
+// dlist/lazylist can beat blocking even WITHOUT oversubscription on
+// small lists (left of panel a).
+#include <memory>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace bench;
+  const int th = cfg().max_threads;
+  std::fprintf(stderr, "fig7: lists (threads=%d)\n", th);
+  std::printf("figure,series,x,mops\n");
+
+  auto mk_lazy = [] { return std::make_unique<flock_workload::lazylist_try>(); };
+  auto mk_dlist = [] { return std::make_unique<flock_workload::dlist_try>(); };
+  auto mk_harris = [] { return std::make_unique<flock_workload::harris>(); };
+  auto mk_harris_opt = [] {
+    return std::make_unique<flock_workload::harris_opt>();
+  };
+
+  // Panel a: size sweep at full subscription, 5% updates, alpha .75.
+  std::fprintf(stderr, "panel a\n");
+  const std::vector<uint64_t> sizes = {100, 400, 1600, 6400};
+  sweep_sizes("fig7a", "harris_list", mk_harris, false, th, 5, 0.75, sizes);
+  sweep_sizes("fig7a", "harris_list_opt", mk_harris_opt, false, th, 5, 0.75,
+              sizes);
+  sweep_sizes("fig7a", "lazylist-bl", mk_lazy, true, th, 5, 0.75, sizes);
+  sweep_sizes("fig7a", "lazylist-lf", mk_lazy, false, th, 5, 0.75, sizes);
+  sweep_sizes("fig7a", "dlist-bl", mk_dlist, true, th, 5, 0.75, sizes);
+  sweep_sizes("fig7a", "dlist-lf", mk_dlist, false, th, 5, 0.75, sizes);
+
+  // Panel b: thread sweep on a 100-key list, 5% updates.
+  std::fprintf(stderr, "panel b\n");
+  const uint64_t n = 100;
+  const std::vector<int> threads = thread_axis();
+  sweep_threads("fig7b", "harris_list", mk_harris, false, n, 5, 0.75, threads);
+  sweep_threads("fig7b", "harris_list_opt", mk_harris_opt, false, n, 5, 0.75,
+                threads);
+  sweep_threads("fig7b", "lazylist-bl", mk_lazy, true, n, 5, 0.75, threads);
+  sweep_threads("fig7b", "lazylist-lf", mk_lazy, false, n, 5, 0.75, threads);
+  sweep_threads("fig7b", "dlist-bl", mk_dlist, true, n, 5, 0.75, threads);
+  sweep_threads("fig7b", "dlist-lf", mk_dlist, false, n, 5, 0.75, threads);
+  return 0;
+}

@@ -1,0 +1,196 @@
+// micro_flock — microbenchmarks for the paper's §6/§8 overhead claims:
+//  * cost of a logged vs raw mutable load/store (the idempotence tax);
+//  * descriptor allocation + try_lock cycle in both modes ("(1) allocating
+//    and initializing a new descriptor every time a lock is acquired");
+//  * commitValue under contention with compare-and-compare-and-swap on
+//    vs off ("this rather simple change made a significant improvement...
+//    sometimes a factor of two or more");
+//  * log entries per successful dlist insert/remove ("A successful
+//    insert commits about 5 entries to the log").
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
+#include "ds/dlist.hpp"
+#include "flock/flock.hpp"
+
+namespace {
+
+// --- mutable load/store, raw vs logged -----------------------------------
+
+void BM_mutable_load_raw(benchmark::State& state) {
+  flock::mutable_<uint64_t> m(42);
+  for (auto _ : state) benchmark::DoNotOptimize(m.load());
+}
+BENCHMARK(BM_mutable_load_raw);
+
+void BM_mutable_load_logged(benchmark::State& state) {
+  flock::mutable_<uint64_t> m(42);
+  auto* blk = flock::pool_new<flock::log_block>();
+  for (auto _ : state) {
+    flock::tls_log() = {blk, 0};  // fresh position: commit always CASes
+    blk->entries[0].v.store(0, std::memory_order_relaxed);
+    benchmark::DoNotOptimize(m.load());
+  }
+  flock::tls_log() = {};
+  flock::pool_delete(blk);
+}
+BENCHMARK(BM_mutable_load_logged);
+
+void BM_mutable_store_raw(benchmark::State& state) {
+  flock::mutable_<uint64_t> m(0);
+  uint64_t i = 0;
+  for (auto _ : state) m.store(i++ & 0xFFFF);
+}
+BENCHMARK(BM_mutable_store_raw);
+
+void BM_mutable_store_logged(benchmark::State& state) {
+  flock::mutable_<uint64_t> m(0);
+  auto* blk = flock::pool_new<flock::log_block>();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    flock::tls_log() = {blk, 0};
+    blk->entries[0].v.store(0, std::memory_order_relaxed);
+    m.store(i++ & 0xFFFF);
+  }
+  flock::tls_log() = {};
+  flock::pool_delete(blk);
+}
+BENCHMARK(BM_mutable_store_logged);
+
+void BM_mutable_dw_store(benchmark::State& state) {
+  flock::mutable_dw<uint64_t> m(0);
+  uint64_t i = 0;
+  for (auto _ : state) m.store(i++);
+}
+BENCHMARK(BM_mutable_dw_store);
+
+// --- lock acquisition cycle -----------------------------------------------
+
+void BM_trylock_cycle_lockfree(benchmark::State& state) {
+  flock::set_blocking(false);
+  flock::lock l;
+  auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+  x->init(0);
+  for (auto _ : state) {
+    flock::with_epoch([&] {
+      return flock::try_lock(l, [x] {
+        x->store(x->load() + 1);
+        return true;
+      });
+    });
+  }
+  flock::pool_delete(x);
+  flock::epoch_manager::instance().flush();
+}
+BENCHMARK(BM_trylock_cycle_lockfree);
+
+void BM_trylock_cycle_blocking(benchmark::State& state) {
+  flock::set_blocking(true);
+  flock::lock l;
+  auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+  x->init(0);
+  for (auto _ : state) {
+    flock::with_epoch([&] {
+      return flock::try_lock(l, [x] {
+        x->store(x->load() + 1);
+        return true;
+      });
+    });
+  }
+  flock::set_blocking(false);
+  flock::pool_delete(x);
+}
+BENCHMARK(BM_trylock_cycle_blocking);
+
+void BM_descriptor_create_destroy(benchmark::State& state) {
+  for (auto _ : state) {
+    flock::descriptor* d = flock::create_descriptor([] { return true; });
+    benchmark::DoNotOptimize(d);
+    flock::pool_delete(d);
+  }
+}
+BENCHMARK(BM_descriptor_create_destroy);
+
+// --- contended commits: compare-and-compare-and-swap ablation -------------
+
+struct shared_log_fixture {
+  flock::log_block* blk;
+  std::atomic<int> round{0};
+};
+shared_log_fixture g_fix;
+
+void BM_contended_commit(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_fix.blk = flock::pool_new<flock::log_block>();
+    flock::set_ccas(state.range(0) != 0);
+  }
+  for (auto _ : state) {
+    // All threads commit to the same slot: exactly the helping-storm
+    // pattern of §6.
+    flock::tls_log() = {g_fix.blk, 0};
+    benchmark::DoNotOptimize(flock::commit64(state.thread_index() + 1));
+  }
+  flock::tls_log() = {};
+  if (state.thread_index() == 0) {
+    flock::set_ccas(true);
+    flock::pool_delete(g_fix.blk);
+  }
+}
+BENCHMARK(BM_contended_commit)
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(8)
+    ->UseRealTime();
+
+// --- epoch machinery -------------------------------------------------------
+
+void BM_with_epoch(benchmark::State& state) {
+  for (auto _ : state) {
+    flock::with_epoch([] { return 1; });
+  }
+}
+BENCHMARK(BM_with_epoch);
+
+void BM_pool_new_delete(benchmark::State& state) {
+  struct obj {
+    uint64_t a[4];
+  };
+  for (auto _ : state) {
+    obj* p = flock::pool_new<obj>();
+    benchmark::DoNotOptimize(p);
+    flock::pool_delete(p);
+  }
+}
+BENCHMARK(BM_pool_new_delete);
+
+// --- log entries per operation (paper §8: "about 5") -----------------------
+
+void report_log_entries_per_op() {
+  flock::set_blocking(false);
+  flock_ds::dlist<uint64_t, uint64_t> d;
+  // Warm: one resident element so inserts splice between sentinels/nodes.
+  d.insert(500, 500);
+  uint64_t before = flock::tls_commit_count();
+  const int n = 1000;
+  for (int i = 0; i < n; i++) d.insert(1000 + i, i);
+  uint64_t after_ins = flock::tls_commit_count();
+  for (int i = 0; i < n; i++) d.remove(1000 + i);
+  uint64_t after_rem = flock::tls_commit_count();
+  std::printf("log_entries_per_dlist_insert,%.2f\n",
+              static_cast<double>(after_ins - before) / n);
+  std::printf("log_entries_per_dlist_remove,%.2f\n",
+              static_cast<double>(after_rem - after_ins) / n);
+  flock::epoch_manager::instance().flush();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  report_log_entries_per_op();
+  return 0;
+}

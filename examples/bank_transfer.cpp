@@ -1,0 +1,111 @@
+// bank_transfer — nested try-locks for multi-object atomicity, the
+// motivating use case from the paper's introduction ("If one needs to
+// atomically move data among structures, lock-free algorithms become
+// particularly tricky"). With Flock it is just two nested try_locks.
+//
+// A bank of accounts, each with its own lock and balance. Transfers lock
+// the two accounts in a fixed order (simply nested, Theorem 4.2) and
+// move money atomically. An auditor thread continuously snapshots the
+// total; with correct atomicity the sum never drifts. Run in lock-free
+// mode, a preempted transferrer cannot block anyone: helpers finish its
+// critical section.
+#include <atomic>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "flock/flock.hpp"
+
+namespace {
+
+struct account {
+  flock::lock lck;
+  flock::mutable_<uint64_t> balance;
+};
+
+constexpr int kAccounts = 64;
+constexpr uint64_t kInitial = 1000;
+
+bool transfer(account* from, account* to, uint64_t amount) {
+  // Lock order by address keeps the lock order acyclic.
+  account* first = from < to ? from : to;
+  account* second = from < to ? to : from;
+  return flock::with_epoch([&] {
+    return flock::try_lock(first->lck, [=] {
+      return flock::try_lock(second->lck, [=] {
+        uint64_t b = from->balance.load();
+        if (b < amount) return false;  // insufficient funds
+        from->balance.store(b - amount);
+        to->balance.store(to->balance.load() + amount);
+        return true;
+      });
+    });
+  });
+}
+
+}  // namespace
+
+int main() {
+  flock::set_blocking(false);  // lock-free mode
+  std::vector<account> bank(kAccounts);
+  for (auto& a : bank) a.balance.init(kInitial);
+
+  std::atomic<bool> stop{false};
+  std::atomic<long long> transfers{0};
+  std::atomic<long long> audits{0};
+  std::atomic<long long> max_skew{0};
+
+  std::vector<std::thread> ts;
+  // Transferrers (oversubscribed on purpose).
+  int workers = 2 * static_cast<int>(std::thread::hardware_concurrency());
+  for (int t = 0; t < workers; t++) {
+    ts.emplace_back([&, t] {
+      std::mt19937_64 rng(t);
+      long long mine = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        int i = static_cast<int>(rng() % kAccounts);
+        int j = static_cast<int>(rng() % kAccounts);
+        if (i == j) continue;
+        if (transfer(&bank[i], &bank[j], rng() % 10 + 1)) mine++;
+      }
+      transfers.fetch_add(mine);
+    });
+  }
+  // Auditor: an unsynchronized scan sees transient skew while transfers
+  // are in flight (that is expected and unbounded — each transfer that
+  // lands between reading its two accounts shifts the racy sum). The real
+  // conservation check is the quiescent total at the end; the running
+  // scan just exercises read traffic and reports the observed skew.
+  ts.emplace_back([&] {
+    const long long expected =
+        static_cast<long long>(kAccounts) * static_cast<long long>(kInitial);
+    while (!stop.load(std::memory_order_relaxed)) {
+      long long sum = 0;
+      for (auto& a : bank)
+        sum += static_cast<long long>(a.balance.read_raw());
+      audits.fetch_add(1);
+      long long skew = sum > expected ? sum - expected : expected - sum;
+      long long cur = max_skew.load(std::memory_order_relaxed);
+      while (skew > cur &&
+             !max_skew.compare_exchange_weak(cur, skew)) {
+      }
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  stop.store(true);
+  for (auto& t : ts) t.join();
+
+  uint64_t total = 0;
+  for (auto& a : bank) total += a.balance.read_raw();
+  std::printf(
+      "transfers: %lld, audits: %lld, max transient racy-scan skew: %lld\n",
+      transfers.load(), audits.load(), max_skew.load());
+  std::printf("final total: %llu (expected %llu) -> %s\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(kAccounts * kInitial),
+              total == kAccounts * kInitial ? "conserved" : "LOST MONEY");
+  flock::epoch_manager::instance().flush();
+  return total == kAccounts * kInitial ? 0 : 1;
+}

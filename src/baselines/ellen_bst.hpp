@@ -1,0 +1,353 @@
+// ellen_bst.hpp — the non-blocking external BST of Ellen, Fatourou,
+// Ruppert and van Breugel (PODC 2010) [21], one of the two CAS-based
+// lock-free baselines in the paper's §8 evaluation.
+//
+// Internal nodes carry an `update` word (state + Info pointer) used to
+// coordinate helping: inserts flag the parent (IFLAG), deletes flag the
+// grandparent (DFLAG) and mark the parent (MARK). All helping goes
+// through the Info records. Reclamation uses the shared epoch manager.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "flock/flock.hpp"
+
+namespace flock_baselines {
+
+template <class K, class V>
+class ellen_bst {
+  // Sentinel ranking: real keys < inf1 < inf2.
+  struct skey {
+    K k;
+    int rank;  // 0 = real, 1 = inf1, 2 = inf2
+    bool operator<(const skey& o) const {
+      if (rank != o.rank) return rank < o.rank;
+      if (rank != 0) return false;
+      return k < o.k;
+    }
+    bool operator==(const skey& o) const {
+      return rank == o.rank && (rank != 0 || k == o.k);
+    }
+  };
+
+  struct node {
+    const bool is_leaf;
+    const skey key;
+    node(bool leaf, skey k) : is_leaf(leaf), key(k) {}
+  };
+
+  struct internal;
+
+  enum state : uintptr_t { CLEAN = 0, DFLAG = 1, IFLAG = 2, MARK = 3 };
+
+  struct info;  // type-erased base for IInfo/DInfo
+
+  static uintptr_t make_upd(info* i, state s) {
+    return reinterpret_cast<uintptr_t>(i) | s;
+  }
+  static state upd_state(uintptr_t u) { return static_cast<state>(u & 3); }
+  static info* upd_info(uintptr_t u) {
+    return reinterpret_cast<info*>(u & ~uintptr_t{3});
+  }
+
+  struct internal : node {
+    std::atomic<uintptr_t> update{CLEAN};
+    std::atomic<node*> left;
+    std::atomic<node*> right;
+    internal(skey k, node* l, node* r)
+        : node(false, k), left(l), right(r) {}
+  };
+
+  struct leaf : node {
+    const V v;
+    leaf(skey k, V val) : node(true, k), v(val) {}
+  };
+
+  struct info {
+    const bool is_insert;
+    explicit info(bool ins) : is_insert(ins) {}
+  };
+
+  struct iinfo : info {
+    internal* p;
+    leaf* l;
+    internal* new_internal;
+    iinfo(internal* p_, leaf* l_, internal* ni)
+        : info(true), p(p_), l(l_), new_internal(ni) {}
+  };
+
+  struct dinfo : info {
+    internal* gp;
+    internal* p;
+    leaf* l;
+    uintptr_t pupdate;
+    dinfo(internal* gp_, internal* p_, leaf* l_, uintptr_t pu)
+        : info(false), gp(gp_), p(p_), l(l_), pupdate(pu) {}
+  };
+
+  struct seek_record {
+    internal* gp = nullptr;
+    internal* p = nullptr;
+    leaf* l = nullptr;
+    uintptr_t gpupdate = CLEAN;
+    uintptr_t pupdate = CLEAN;
+  };
+
+ public:
+  ellen_bst() {
+    leaf* l1 = flock::pool_new<leaf>(skey{K{}, 1}, V{});
+    leaf* l2 = flock::pool_new<leaf>(skey{K{}, 2}, V{});
+    root_ = flock::pool_new<internal>(skey{K{}, 2}, l1, l2);
+  }
+
+  ~ellen_bst() { destroy(root_); }
+
+  std::optional<V> find(K k) {
+    return flock::with_epoch([&]() -> std::optional<V> {
+      seek_record sr = search(skey{k, 0});
+      if (sr.l->key == skey{k, 0}) return sr.l->v;
+      return {};
+    });
+  }
+
+  bool insert(K k, V v) {
+    return flock::with_epoch([&] {
+      skey key{k, 0};
+      while (true) {
+        seek_record sr = search(key);
+        if (sr.l->key == key) return false;
+        if (upd_state(sr.pupdate) != CLEAN) {
+          help(sr.pupdate);
+          continue;
+        }
+        leaf* nl = flock::pool_new<leaf>(key, v);
+        leaf* old_copy = flock::pool_new<leaf>(sr.l->key, leaf_val(sr.l));
+        internal* ni =
+            key < sr.l->key
+                ? flock::pool_new<internal>(sr.l->key, nl, old_copy)
+                : flock::pool_new<internal>(key, old_copy, nl);
+        iinfo* op = flock::pool_new<iinfo>(sr.p, sr.l, ni);
+        uintptr_t expected = sr.pupdate;
+        if (sr.p->update.compare_exchange_strong(
+                expected, make_upd(op, IFLAG), std::memory_order_acq_rel)) {
+          help_insert(op);
+          return true;
+        }
+        // Failed to flag: clean up our speculative nodes and help.
+        flock::pool_delete(nl);
+        flock::pool_delete(old_copy);
+        flock::pool_delete(ni);
+        flock::pool_delete(op);
+        help(expected);
+      }
+    });
+  }
+
+  bool remove(K k) {
+    return flock::with_epoch([&] {
+      skey key{k, 0};
+      while (true) {
+        seek_record sr = search(key);
+        if (!(sr.l->key == key)) return false;
+        if (upd_state(sr.gpupdate) != CLEAN) {
+          help(sr.gpupdate);
+          continue;
+        }
+        if (upd_state(sr.pupdate) != CLEAN) {
+          help(sr.pupdate);
+          continue;
+        }
+        dinfo* op = flock::pool_new<dinfo>(sr.gp, sr.p, sr.l, sr.pupdate);
+        uintptr_t expected = sr.gpupdate;
+        if (sr.gp->update.compare_exchange_strong(
+                expected, make_upd(op, DFLAG), std::memory_order_acq_rel)) {
+          // op is reclaimed by whichever helper wins the final unflag
+          // (help_marked) or the backtrack unflag (help_delete).
+          if (help_delete(op)) return true;
+          continue;
+        }
+        flock::pool_delete(op);
+        help(expected);
+      }
+    });
+  }
+
+  std::size_t size() const { return count(root_); }
+
+  bool check_invariants() const {
+    bool ok = true;
+    validate(root_, skey{K{}, 0}, false, skey{K{}, 2}, false, ok);
+    return ok;
+  }
+
+  template <class F>
+  void for_each(F&& f) const {
+    walk(root_, f);
+  }
+
+ private:
+  static V leaf_val(leaf* l) { return l->v; }
+
+  seek_record search(skey key) {
+    seek_record sr;
+    sr.p = root_;
+    sr.pupdate = root_->update.load(std::memory_order_acquire);
+    node* cur = (key < root_->key ? root_->left : root_->right)
+                    .load(std::memory_order_acquire);
+    while (!cur->is_leaf) {
+      sr.gp = sr.p;
+      sr.p = static_cast<internal*>(cur);
+      sr.gpupdate = sr.pupdate;
+      sr.pupdate = sr.p->update.load(std::memory_order_acquire);
+      cur = (key < cur->key ? sr.p->left : sr.p->right)
+                .load(std::memory_order_acquire);
+    }
+    sr.l = static_cast<leaf*>(cur);
+    return sr;
+  }
+
+  void help(uintptr_t u) {
+    info* i = upd_info(u);
+    if (i == nullptr) return;
+    switch (upd_state(u)) {
+      case IFLAG:
+        help_insert(static_cast<iinfo*>(i));
+        break;
+      case DFLAG:
+        help_delete(static_cast<dinfo*>(i));
+        break;
+      case MARK:
+        help_marked(static_cast<dinfo*>(i));
+        break;
+      default:
+        break;
+    }
+  }
+
+  void cas_child(internal* parent, node* old_child, node* new_child) {
+    std::atomic<node*>& slot =
+        new_child->key < parent->key ? parent->left : parent->right;
+    node* expected = old_child;
+    slot.compare_exchange_strong(expected, new_child,
+                                 std::memory_order_acq_rel);
+  }
+
+  void help_insert(iinfo* op) {
+    cas_child(op->p, op->l, op->new_internal);
+    uintptr_t expected = make_upd(op, IFLAG);
+    if (op->p->update.compare_exchange_strong(expected,
+                                              make_upd(op, CLEAN),
+                                              std::memory_order_acq_rel)) {
+      // This helper unflagged: retire the replaced leaf and the op.
+      flock::epoch_retire(op->l);
+      flock::epoch_retire(op);
+    }
+  }
+
+  bool help_delete(dinfo* op) {
+    uintptr_t expected = op->pupdate;
+    uintptr_t marked = make_upd(reinterpret_cast<info*>(op), MARK);
+    if (op->p->update.compare_exchange_strong(expected, marked,
+                                              std::memory_order_acq_rel) ||
+        expected == marked) {
+      help_marked(op);
+      return true;
+    }
+    // Backtrack: someone interfered; unflag the grandparent. The new
+    // value keeps the op pointer (as in the original algorithm): writing
+    // a pristine CLEAN(0) here would let a stale helper's MARK CAS see a
+    // repeated update-word value and fire on a dead op record. The unflag
+    // winner owns reclaiming the abandoned record; epochs keep it alive
+    // for helpers that still hold the pointer.
+    help(expected);
+    uintptr_t flagged = make_upd(reinterpret_cast<info*>(op), DFLAG);
+    if (op->gp->update.compare_exchange_strong(flagged, make_upd(op, CLEAN),
+                                               std::memory_order_acq_rel)) {
+      flock::epoch_retire(op);
+    }
+    return false;
+  }
+
+  void help_marked(dinfo* op) {
+    // Splice p out: replace gp's child p by p's other child.
+    node* l = op->p->left.load(std::memory_order_acquire);
+    node* other =
+        l == static_cast<node*>(op->l)
+            ? op->p->right.load(std::memory_order_acquire)
+            : l;
+    cas_child_exact(op->gp, op->p, other);
+    uintptr_t flagged = make_upd(reinterpret_cast<info*>(op), DFLAG);
+    if (op->gp->update.compare_exchange_strong(flagged,
+                                               make_upd(op, CLEAN),
+                                               std::memory_order_acq_rel)) {
+      flock::epoch_retire(op->l);
+      flock::epoch_retire(op->p);
+      flock::epoch_retire(op);
+    }
+  }
+
+  // Replace whichever child slot of gp holds `oldc`.
+  void cas_child_exact(internal* gp, node* oldc, node* newc) {
+    node* expected = oldc;
+    if (gp->left.load(std::memory_order_acquire) == oldc) {
+      gp->left.compare_exchange_strong(expected, newc,
+                                       std::memory_order_acq_rel);
+    } else {
+      expected = oldc;
+      gp->right.compare_exchange_strong(expected, newc,
+                                        std::memory_order_acq_rel);
+    }
+  }
+
+  void destroy(node* n) {
+    if (n == nullptr) return;
+    if (n->is_leaf) {
+      flock::pool_delete(static_cast<leaf*>(n));
+      return;
+    }
+    auto* in = static_cast<internal*>(n);
+    destroy(in->left.load(std::memory_order_relaxed));
+    destroy(in->right.load(std::memory_order_relaxed));
+    flock::pool_delete(in);
+  }
+
+  std::size_t count(node* n) const {
+    if (n == nullptr) return 0;
+    if (n->is_leaf)
+      return static_cast<leaf*>(n)->key.rank == 0 ? 1 : 0;
+    auto* in = static_cast<internal*>(n);
+    return count(in->left.load()) + count(in->right.load());
+  }
+
+  void validate(node* n, skey lo, bool has_lo, skey hi, bool has_hi,
+                bool& ok) const {
+    if (n == nullptr || !ok) {
+      ok = false;
+      return;
+    }
+    if (has_lo && n->key < lo) ok = false;
+    if (has_hi && hi < n->key) ok = false;
+    if (n->is_leaf) return;
+    auto* in = static_cast<internal*>(n);
+    validate(in->left.load(), lo, has_lo, in->key, true, ok);
+    validate(in->right.load(), in->key, true, hi, has_hi, ok);
+  }
+
+  template <class F>
+  void walk(node* n, F&& f) const {
+    if (n == nullptr) return;
+    if (n->is_leaf) {
+      auto* l = static_cast<leaf*>(n);
+      if (l->key.rank == 0) f(l->key.k, l->v);
+      return;
+    }
+    auto* in = static_cast<internal*>(n);
+    walk(in->left.load(), std::forward<F>(f));
+    walk(in->right.load(), std::forward<F>(f));
+  }
+
+  internal* root_;
+};
+
+}  // namespace flock_baselines

@@ -1,0 +1,194 @@
+// harris_list.hpp — Harris's lock-free sorted linked list [29], plus the
+// optimized variant where find operations do not help (do not snip marked
+// nodes), following David et al. [16] (paper §8: harris_list and
+// harris_list_opt). Memory is reclaimed with the same epoch manager the
+// Flock structures use, so comparisons are apples-to-apples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "flock/flock.hpp"
+
+namespace flock_baselines {
+
+template <class K, class V, bool OptFind = false>
+class harris_list {
+  struct node {
+    const K k;
+    const V v;
+    std::atomic<uintptr_t> next;  // successor pointer | mark bit
+    node(K key, V val, node* nxt)
+        : k(key), v(val), next(reinterpret_cast<uintptr_t>(nxt)) {}
+  };
+
+  static constexpr uintptr_t kMark = 1;
+  static node* ptr(uintptr_t w) {
+    return reinterpret_cast<node*>(w & ~kMark);
+  }
+  static bool marked(uintptr_t w) { return (w & kMark) != 0; }
+  static uintptr_t make(node* p, bool m) {
+    return reinterpret_cast<uintptr_t>(p) | (m ? kMark : 0);
+  }
+
+ public:
+  harris_list() {
+    tail_ = flock::pool_new<node>(K{}, V{}, nullptr);
+    head_ = flock::pool_new<node>(K{}, V{}, tail_);
+  }
+
+  ~harris_list() {
+    node* n = head_;
+    while (n != nullptr) {
+      node* nxt = ptr(n->next.load(std::memory_order_relaxed));
+      flock::pool_delete(n);
+      n = nxt;
+    }
+  }
+
+  std::optional<V> find(K k) {
+    return flock::with_epoch([&]() -> std::optional<V> {
+      if constexpr (OptFind) {
+        // Optimized find: wait-free traversal, no helping, no snipping.
+        node* cur = ptr(head_->next.load(std::memory_order_acquire));
+        while (cur != tail_ && cur->k < k)
+          cur = ptr(cur->next.load(std::memory_order_acquire));
+        if (cur != tail_ && cur->k == k &&
+            !marked(cur->next.load(std::memory_order_acquire)))
+          return cur->v;
+        return {};
+      } else {
+        auto [left, right] = search(k);
+        (void)left;
+        if (right != tail_ && right->k == k) return right->v;
+        return {};
+      }
+    });
+  }
+
+  bool insert(K k, V v) {
+    return flock::with_epoch([&] {
+      node* n = flock::pool_new<node>(k, v, nullptr);
+      while (true) {
+        auto [left, right] = search(k);
+        if (right != tail_ && right->k == k) {
+          flock::pool_delete(n);  // never published
+          return false;
+        }
+        n->next.store(make(right, false), std::memory_order_relaxed);
+        uintptr_t expected = make(right, false);
+        if (left->next.compare_exchange_strong(expected, make(n, false),
+                                               std::memory_order_acq_rel))
+          return true;
+      }
+    });
+  }
+
+  bool remove(K k) {
+    return flock::with_epoch([&] {
+      while (true) {
+        auto [left, right] = search(k);
+        if (right == tail_ || right->k != k) return false;
+        uintptr_t rnext = right->next.load(std::memory_order_acquire);
+        if (marked(rnext)) continue;  // someone else is deleting it
+        // Logical delete: mark the successor pointer.
+        uintptr_t expected = rnext;
+        if (!right->next.compare_exchange_strong(
+                expected, make(ptr(rnext), true),
+                std::memory_order_acq_rel))
+          continue;
+        // Physical delete: try to snip; on failure a later search will.
+        expected = make(right, false);
+        if (left->next.compare_exchange_strong(expected,
+                                               make(ptr(rnext), false),
+                                               std::memory_order_acq_rel)) {
+          flock::epoch_retire(right);
+        } else {
+          search(k);  // snips and retires via the search path
+        }
+        return true;
+      }
+    });
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (node* c = ptr(head_->next.load()); c != tail_;
+         c = ptr(c->next.load()))
+      if (!marked(c->next.load())) n++;
+    return n;
+  }
+
+  bool check_invariants() const {
+    const node* prev = nullptr;
+    for (node* c = ptr(head_->next.load()); c != tail_;
+         c = ptr(c->next.load())) {
+      if (marked(c->next.load())) continue;  // logically deleted remnant
+      if (prev != nullptr && !(prev->k < c->k)) return false;
+      prev = c;
+    }
+    return true;
+  }
+
+  template <class F>
+  void for_each(F&& f) const {
+    for (node* c = ptr(head_->next.load()); c != tail_;
+         c = ptr(c->next.load()))
+      if (!marked(c->next.load())) f(c->k, c->v);
+  }
+
+ private:
+  // Harris search: returns adjacent unmarked (left, right) with
+  // left->k < k <= right->k (sentinel bounds), snipping marked runs.
+  std::pair<node*, node*> search(K k) {
+    while (true) {
+      node* left = head_;
+      uintptr_t left_next = head_->next.load(std::memory_order_acquire);
+      node* right = nullptr;
+      // 1. Find left and right, remembering left's successor word.
+      node* t = head_;
+      uintptr_t t_next = left_next;
+      do {
+        if (!marked(t_next)) {
+          left = t;
+          left_next = t_next;
+        }
+        t = ptr(t_next);
+        if (t == tail_) break;
+        t_next = t->next.load(std::memory_order_acquire);
+      } while (marked(t_next) || t->k < k);
+      right = t;
+      // 2. Adjacent?
+      if (ptr(left_next) == right) {
+        if (right != tail_ &&
+            marked(right->next.load(std::memory_order_acquire)))
+          continue;
+        return {left, right};
+      }
+      // 3. Snip the marked run [left_next, right).
+      uintptr_t expected = left_next;
+      if (left->next.compare_exchange_strong(expected, make(right, false),
+                                             std::memory_order_acq_rel)) {
+        // Retire everything snipped out.
+        node* c = ptr(left_next);
+        while (c != right) {
+          node* nxt = ptr(c->next.load(std::memory_order_relaxed));
+          flock::epoch_retire(c);
+          c = nxt;
+        }
+        if (right != tail_ &&
+            marked(right->next.load(std::memory_order_acquire)))
+          continue;
+        return {left, right};
+      }
+    }
+  }
+
+  node* head_;
+  node* tail_;
+};
+
+template <class K, class V>
+using harris_list_opt = harris_list<K, V, true>;
+
+}  // namespace flock_baselines

@@ -1,0 +1,302 @@
+// natarajan_bst.hpp — the lock-free external BST of Natarajan & Mittal
+// (PPoPP 2014) [42], the second CAS-based lock-free baseline of §8.
+//
+// Marks live on EDGES (child words), not nodes: a delete first FLAGs the
+// edge parent->leaf (injection), then TAGs the sibling edge and swings
+// the ancestor->successor edge down to the sibling, excising the whole
+// flagged/tagged chain in one CAS. Seeks track (ancestor, successor,
+// parent, leaf); cleanup helps any delete whose flag it encounters.
+// Reclamation: the winner of the excising CAS epoch-retires the removed
+// region (it is unreachable and frozen once the CAS lands).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "flock/flock.hpp"
+
+namespace flock_baselines {
+
+template <class K, class V>
+class natarajan_bst {
+  struct skey {
+    K k;
+    int rank;  // 0 = real key, 1 = inf1, 2 = inf2
+    bool operator<(const skey& o) const {
+      if (rank != o.rank) return rank < o.rank;
+      if (rank != 0) return false;
+      return k < o.k;
+    }
+    bool operator==(const skey& o) const {
+      return rank == o.rank && (rank != 0 || k == o.k);
+    }
+  };
+
+  struct node {
+    const bool is_leaf;
+    const skey key;
+    node(bool leaf, skey k) : is_leaf(leaf), key(k) {}
+  };
+
+  struct internal : node {
+    std::atomic<uintptr_t> left;
+    std::atomic<uintptr_t> right;
+    internal(skey k, uintptr_t l, uintptr_t r)
+        : node(false, k), left(l), right(r) {}
+  };
+
+  struct leaf : node {
+    const V v;
+    leaf(skey k, V val) : node(true, k), v(val) {}
+  };
+
+  static constexpr uintptr_t kFlag = 1;  // leaf edge: pending delete
+  static constexpr uintptr_t kTag = 2;   // sibling edge: frozen
+  static constexpr uintptr_t kBits = kFlag | kTag;
+
+  static node* ptr(uintptr_t w) { return reinterpret_cast<node*>(w & ~kBits); }
+  static bool flg(uintptr_t w) { return (w & kFlag) != 0; }
+  static bool tag(uintptr_t w) { return (w & kTag) != 0; }
+  static uintptr_t mk(node* p, bool f, bool t) {
+    return reinterpret_cast<uintptr_t>(p) | (f ? kFlag : 0) | (t ? kTag : 0);
+  }
+
+  struct seek_record {
+    internal* ancestor;
+    internal* successor;
+    internal* parent;
+    leaf* lf;
+  };
+
+  std::atomic<uintptr_t>* edge(internal* n, skey key) {
+    return key < n->key ? &n->left : &n->right;
+  }
+
+ public:
+  natarajan_bst() {
+    leaf* s1 = flock::pool_new<leaf>(skey{K{}, 1}, V{});
+    leaf* s2 = flock::pool_new<leaf>(skey{K{}, 2}, V{});
+    s_ = flock::pool_new<internal>(skey{K{}, 1}, mk(s1, false, false),
+                                   mk(flock::pool_new<leaf>(skey{K{}, 1}, V{}),
+                                      false, false));
+    r_ = flock::pool_new<internal>(skey{K{}, 2}, mk(s_, false, false),
+                                   mk(s2, false, false));
+  }
+
+  ~natarajan_bst() { destroy(r_); }
+
+  std::optional<V> find(K k) {
+    return flock::with_epoch([&]() -> std::optional<V> {
+      seek_record sr = seek(skey{k, 0});
+      if (sr.lf->key == skey{k, 0}) return sr.lf->v;
+      return {};
+    });
+  }
+
+  bool insert(K k, V v) {
+    return flock::with_epoch([&] {
+      skey key{k, 0};
+      leaf* nl = flock::pool_new<leaf>(key, v);
+      while (true) {
+        seek_record sr = seek(key);
+        if (sr.lf->key == key) {
+          flock::pool_delete(nl);
+          return false;
+        }
+        internal* parent = sr.parent;
+        std::atomic<uintptr_t>* child_field = edge(parent, key);
+        // Build the replacement subtree: internal with the two leaves.
+        skey ikey = sr.lf->key < key ? key : sr.lf->key;
+        internal* ni =
+            key < sr.lf->key
+                ? flock::pool_new<internal>(ikey, mk(nl, false, false),
+                                            mk(sr.lf, false, false))
+                : flock::pool_new<internal>(ikey, mk(sr.lf, false, false),
+                                            mk(nl, false, false));
+        uintptr_t expected = mk(sr.lf, false, false);
+        if (child_field->compare_exchange_strong(expected, mk(ni, false, false),
+                                                 std::memory_order_acq_rel))
+          return true;
+        flock::pool_delete(ni);
+        // Help if the edge to our leaf is flagged/tagged, then retry.
+        if (ptr(expected) == static_cast<node*>(sr.lf) &&
+            (expected & kBits) != 0)
+          cleanup(key, sr);
+      }
+    });
+  }
+
+  bool remove(K k) {
+    return flock::with_epoch([&] {
+      skey key{k, 0};
+      bool injected = false;
+      leaf* target = nullptr;
+      while (true) {
+        seek_record sr = seek(key);
+        if (!injected) {
+          if (!(sr.lf->key == key)) return false;
+          std::atomic<uintptr_t>* child_field = edge(sr.parent, key);
+          uintptr_t expected = mk(sr.lf, false, false);
+          if (child_field->compare_exchange_strong(
+                  expected, mk(sr.lf, true, false),
+                  std::memory_order_acq_rel)) {
+            injected = true;
+            target = sr.lf;
+            if (cleanup(key, sr)) return true;
+          } else if (ptr(expected) == static_cast<node*>(sr.lf) &&
+                     (expected & kBits) != 0) {
+            cleanup(key, sr);
+          }
+        } else {
+          if (sr.lf != target) return true;  // someone excised it for us
+          if (cleanup(key, sr)) return true;
+        }
+      }
+    });
+  }
+
+  std::size_t size() const { return count(r_); }
+
+  bool check_invariants() const {
+    bool ok = true;
+    validate(r_, skey{K{}, 0}, false, skey{K{}, 2}, false, ok);
+    return ok;
+  }
+
+  template <class F>
+  void for_each(F&& f) const {
+    walk(r_, f);
+  }
+
+ private:
+  seek_record seek(skey key) {
+    seek_record sr{r_, s_, s_, nullptr};
+    uintptr_t parent_field = s_->left.load(std::memory_order_acquire);
+    node* current = ptr(parent_field);
+    uintptr_t current_field = parent_field;
+    // Walk down; track the deepest untagged edge (ancestor->successor).
+    while (!current->is_leaf) {
+      internal* cur_int = static_cast<internal*>(current);
+      if (!tag(parent_field)) {
+        sr.ancestor = sr.parent;
+        sr.successor = cur_int;
+      }
+      sr.parent = cur_int;
+      parent_field = current_field;
+      current_field = (key < current->key ? cur_int->left : cur_int->right)
+                          .load(std::memory_order_acquire);
+      current = ptr(current_field);
+    }
+    sr.lf = static_cast<leaf*>(current);
+    return sr;
+  }
+
+  bool cleanup(skey key, const seek_record& sr) {
+    internal* ancestor = sr.ancestor;
+    internal* successor = sr.successor;
+    internal* parent = sr.parent;
+    std::atomic<uintptr_t>* succ_field = edge(ancestor, key);
+    std::atomic<uintptr_t>* child_field;
+    std::atomic<uintptr_t>* sibling_field;
+    if (key < parent->key) {
+      child_field = &parent->left;
+      sibling_field = &parent->right;
+    } else {
+      child_field = &parent->right;
+      sibling_field = &parent->left;
+    }
+    bool mine = true;
+    if (!flg(child_field->load(std::memory_order_acquire))) {
+      // Our key's leaf is not the flagged one: we are helping a delete
+      // whose flag sits on the other edge.
+      sibling_field = child_field;
+      mine = false;
+    }
+    // Freeze the sibling edge with a tag.
+    while (true) {
+      uintptr_t w = sibling_field->load(std::memory_order_acquire);
+      if (tag(w)) break;
+      uintptr_t desired = w | kTag;
+      if (sibling_field->compare_exchange_strong(w, desired,
+                                                 std::memory_order_acq_rel))
+        break;
+    }
+    uintptr_t w = sibling_field->load(std::memory_order_acquire);
+    uintptr_t expected = mk(successor, false, false);
+    // Promote the sibling (carrying its flag, dropping the tag).
+    if (succ_field->compare_exchange_strong(expected,
+                                            mk(ptr(w), flg(w), false),
+                                            std::memory_order_acq_rel)) {
+      retire_region(successor, ptr(w));
+      return mine;  // true iff the excised flag was the caller's own
+    }
+    return false;
+  }
+
+  // The excised region: everything reachable from `from` except the
+  // promoted subtree rooted at `keep`. Unreachable and frozen, so a plain
+  // walk is safe; readers are epoch-protected.
+  void retire_region(node* from, node* keep) {
+    if (from == keep || from == nullptr) return;
+    if (from->is_leaf) {
+      flock::epoch_retire(static_cast<leaf*>(from));
+      return;
+    }
+    internal* in = static_cast<internal*>(from);
+    retire_region(ptr(in->left.load(std::memory_order_relaxed)), keep);
+    retire_region(ptr(in->right.load(std::memory_order_relaxed)), keep);
+    flock::epoch_retire(in);
+  }
+
+  void destroy(node* n) {
+    if (n == nullptr) return;
+    if (n->is_leaf) {
+      flock::pool_delete(static_cast<leaf*>(n));
+      return;
+    }
+    internal* in = static_cast<internal*>(n);
+    destroy(ptr(in->left.load(std::memory_order_relaxed)));
+    destroy(ptr(in->right.load(std::memory_order_relaxed)));
+    flock::pool_delete(in);
+  }
+
+  std::size_t count(node* n) const {
+    if (n == nullptr) return 0;
+    if (n->is_leaf)
+      return static_cast<leaf*>(n)->key.rank == 0 ? 1 : 0;
+    internal* in = static_cast<internal*>(n);
+    return count(ptr(in->left.load())) + count(ptr(in->right.load()));
+  }
+
+  void validate(node* n, skey lo, bool has_lo, skey hi, bool has_hi,
+                bool& ok) const {
+    if (n == nullptr || !ok) {
+      ok = false;
+      return;
+    }
+    if (has_lo && n->key < lo) ok = false;
+    if (has_hi && hi < n->key) ok = false;
+    if (n->is_leaf) return;
+    internal* in = static_cast<internal*>(n);
+    validate(ptr(in->left.load()), lo, has_lo, in->key, true, ok);
+    validate(ptr(in->right.load()), in->key, true, hi, has_hi, ok);
+  }
+
+  template <class F>
+  void walk(node* n, F&& f) const {
+    if (n == nullptr) return;
+    if (n->is_leaf) {
+      auto* l = static_cast<leaf*>(n);
+      if (l->key.rank == 0) f(l->key.k, l->v);
+      return;
+    }
+    internal* in = static_cast<internal*>(n);
+    walk(ptr(in->left.load()), std::forward<F>(f));
+    walk(ptr(in->right.load()), std::forward<F>(f));
+  }
+
+  internal* r_;  // sentinel root, key inf2
+  internal* s_;  // sentinel, key inf1
+};
+
+}  // namespace flock_baselines

@@ -1,0 +1,91 @@
+// move.hpp — atomic movement of an element between two structures, the
+// paper's introductory motivation: "If one needs to atomically move data
+// among structures, lock-free algorithms become particularly tricky."
+// With lock-free locks it is three nested try_locks.
+//
+// Lock order (Theorem 4.2's acyclic partial order): the two lists are
+// ordered by object address; within a list, list-position order
+// (predecessor before node). Every thunk captures by value.
+#pragma once
+
+#include <type_traits>
+
+#include "flock/flock.hpp"
+#include "lazylist.hpp"
+
+namespace flock_ds {
+
+/// Atomically move key `k` (and its value) from `from` to `to`. Atomic
+/// with respect to all other *updaters*: both splices happen inside one
+/// validated critical-section nest, so no insert/remove/move can
+/// interleave between them — the key is never lost or duplicated.
+/// (Lock-free readers, which take no locks by design, may still observe
+/// the in-flight instant where the key is visible in both lists.)
+/// Returns false — changing nothing — if k is absent in `from`, already
+/// present in `to`, or any lock/validation fails transiently (callers
+/// retry like any try-lock operation; `move_retry` below loops until a
+/// definite answer).
+template <class K, class V, bool Strict>
+bool try_move(lazylist<K, V, Strict>& from, lazylist<K, V, Strict>& to,
+              std::type_identity_t<K> k) {
+  using list = lazylist<K, V, Strict>;
+  using node = typename list::node_t;
+  if (&from == &to) return false;
+  return flock::with_epoch([&] {
+    auto [fprev, fcur] = from.search_for(k);
+    if (fcur == nullptr || fcur->k != k) return false;  // not in source
+    auto [tprev, tcur] = to.search_for(k);
+    if (tcur != nullptr && tcur->k == k) return false;  // already in dest
+    // Innermost critical section: validates both neighborhoods and does
+    // both splices. Runs under fprev -> fcur -> tprev (or tprev first if
+    // `to` orders before `from`).
+    auto splice = [=, &to]() {
+      node* fp = fprev;
+      node* fc = fcur;
+      node* tp = tprev;
+      node* tc = tcur;
+      if (fp->removed.load() || fc->removed.load()) return false;
+      if (fp->next.load() != fc) return false;
+      if (tp->removed.load()) return false;
+      if (tp->next.load() != tc) return false;
+      (void)to;
+      // Insert a fresh node in `to` carrying the value...
+      node* moved = flock::allocate<node>(fc->k, fc->v, tc);
+      tp->next = moved;
+      // ...and splice the original out of `from`.
+      fc->removed = true;
+      fp->next = fc->next.load();
+      flock::retire<node>(fc);
+      return true;
+    };
+    auto lock_source_then = [=](auto inner) {
+      return list::acquire_lock(fprev->lck, [=] {
+        return list::acquire_lock(fcur->lck, [=] { return inner(); });
+      });
+    };
+    if (reinterpret_cast<uintptr_t>(&from) <
+        reinterpret_cast<uintptr_t>(&to)) {
+      return lock_source_then([=] {
+        return list::acquire_lock(tprev->lck, [=] { return splice(); });
+      });
+    }
+    return list::acquire_lock(tprev->lck,
+                              [=] { return lock_source_then(splice); });
+  });
+}
+
+/// Loop try_move until it either moves the key or definitively cannot
+/// (absent in source / present in destination under a validated check).
+template <class K, class V, bool Strict>
+bool move_retry(lazylist<K, V, Strict>& from, lazylist<K, V, Strict>& to,
+                std::type_identity_t<K> k, int max_attempts = 1 << 20) {
+  for (int i = 0; i < max_attempts; i++) {
+    if (try_move(from, to, k)) return true;
+    // Definitive misses: re-check quiescently-enough via plain finds.
+    if (!from.find(k).has_value()) return false;
+    if (to.find(k).has_value()) return false;
+  }
+  return false;
+}
+
+}  // namespace flock_ds

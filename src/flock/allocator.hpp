@@ -1,0 +1,150 @@
+// allocator.hpp — per-thread slab pools for fixed-type objects.
+//
+// Stands in for ParlayLib's scalable allocator used by the paper (§8
+// "We used ParlayLib for scalable memory allocation"). Each (type, thread)
+// pair owns a free list fed by slab allocations; frees push back onto the
+// *freeing* thread's list. Cross-thread frees are expected (helpers retire
+// other threads' nodes), so lists are per-thread and never shared.
+//
+// The pool also supports the paper's "shuffle" trick (§8): pre-allocating
+// a large batch and freeing it in random order to decorrelate placement.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "config.hpp"
+#include "threading.hpp"
+
+namespace flock {
+namespace detail {
+
+/// Untyped per-thread free-list pool for blocks of a fixed size/alignment.
+template <std::size_t Size, std::size_t Align>
+class raw_pool {
+  struct free_node {
+    free_node* next;
+  };
+  static constexpr std::size_t kSlot =
+      Size < sizeof(free_node) ? sizeof(free_node) : Size;
+  static constexpr std::size_t kSlabObjects = 256;
+
+  struct alignas(kCacheLine) per_thread {
+    free_node* head = nullptr;
+    std::size_t outstanding = 0;  // live objects allocated - freed (stats)
+  };
+
+ public:
+  static raw_pool& instance() {
+    static raw_pool p;
+    return p;
+  }
+
+  void* allocate() {
+    per_thread& t = slot();
+    if (t.head == nullptr) refill(t);
+    free_node* n = t.head;
+    t.head = n->next;
+    ++t.outstanding;
+    return n;
+  }
+
+  void deallocate(void* p) {
+    per_thread& t = slot();
+    auto* n = static_cast<free_node*>(p);
+    n->next = t.head;
+    t.head = n;
+    --t.outstanding;
+  }
+
+  /// Net live objects across all threads (approximate under concurrency;
+  /// exact at quiescence). Used by leak-accounting tests.
+  long long outstanding() const {
+    long long sum = 0;
+    for (int i = 0; i < kMaxThreads; i++)
+      sum += static_cast<long long>(slots_[i].outstanding);
+    return sum;
+  }
+
+  /// Paper §8: allocate a large batch and free it in random order so run-to-
+  /// run placement is decorrelated.
+  void shuffle(std::size_t count) {
+    std::vector<void*> v;
+    v.reserve(count);
+    for (std::size_t i = 0; i < count; i++) v.push_back(allocate());
+    std::mt19937_64 rng(0x9e3779b97f4a7c15ULL);
+    std::shuffle(v.begin(), v.end(), rng);
+    for (void* p : v) deallocate(p);
+  }
+
+ private:
+  per_thread& slot() { return slots_[thread_id()]; }
+
+  void refill(per_thread& t) {
+    void* slab = ::operator new(kSlot * kSlabObjects, std::align_val_t{Align});
+    {
+      std::lock_guard<std::mutex> g(slabs_mu_);
+      slabs_.push_back(slab);
+    }
+    char* base = static_cast<char*>(slab);
+    for (std::size_t i = 0; i < kSlabObjects; i++) {
+      auto* n = reinterpret_cast<free_node*>(base + i * kSlot);
+      n->next = t.head;
+      t.head = n;
+    }
+  }
+
+  raw_pool() = default;
+  ~raw_pool() {
+    for (void* s : slabs_) ::operator delete(s, std::align_val_t{Align});
+  }
+
+  per_thread slots_[kMaxThreads];
+  std::mutex slabs_mu_;
+  std::vector<void*> slabs_;  // never returned to the OS until exit
+};
+
+template <class T>
+using pool_for = raw_pool<sizeof(T), alignof(T) < 8 ? 8 : alignof(T)>;
+
+}  // namespace detail
+
+/// Construct a T from a per-thread pool.
+template <class T, class... Args>
+T* pool_new(Args&&... args) {
+  void* mem = detail::pool_for<T>::instance().allocate();
+  return ::new (mem) T(std::forward<Args>(args)...);
+}
+
+/// Destroy and return to the pool.
+template <class T>
+void pool_delete(T* p) {
+  p->~T();
+  detail::pool_for<T>::instance().deallocate(p);
+}
+
+/// Type-erased deleter usable as a plain function pointer (epoch retire).
+template <class T>
+void pool_delete_erased(void* p) {
+  pool_delete(static_cast<T*>(p));
+}
+
+/// Net live pool objects of type T (leak accounting in tests).
+template <class T>
+long long pool_outstanding() {
+  return detail::pool_for<T>::instance().outstanding();
+}
+
+/// Decorrelate allocator placement (paper §8 warmup step).
+template <class T>
+void pool_shuffle(std::size_t count) {
+  detail::pool_for<T>::instance().shuffle(count);
+}
+
+}  // namespace flock

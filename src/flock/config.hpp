@@ -1,0 +1,69 @@
+// config.hpp — build-time and run-time knobs shared by the whole library.
+//
+// Part of the Flock reproduction ("Lock-Free Locks Revisited", PPoPP 2022).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace flock {
+
+// Cache line size used for padding shared per-thread slots.
+inline constexpr std::size_t kCacheLine = 64;
+
+// Hard cap on concurrently registered threads (ids are recycled on thread
+// exit, so the cap applies to *live* threads, not total threads created).
+inline constexpr int kMaxThreads = 512;
+
+// Entries per log block (paper §6 "Arbitrary Length Logs": default 7).
+inline constexpr int kLogBlockEntries = 7;
+
+// Inline storage for thunks captured by descriptors. Larger lambdas fall
+// back to the heap (see thunk.hpp).
+inline constexpr std::size_t kThunkInlineBytes = 104;
+
+/// Run-time switch between the two lock modes (paper §7: "this choice can
+/// be made by changing a flag at runtime").
+///   blocking  — test-and-test-and-set locks, no logging, no helping.
+///   lock-free — descriptor-based helping with idempotence logs (Alg. 3).
+inline std::atomic<bool>& blocking_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+inline void set_blocking(bool b) noexcept {
+  blocking_flag().store(b, std::memory_order_relaxed);
+}
+inline bool is_blocking() noexcept {
+  return blocking_flag().load(std::memory_order_relaxed);
+}
+
+/// RAII scope that selects a lock mode and restores the previous one.
+class mode_guard {
+ public:
+  explicit mode_guard(bool blocking) : prev_(is_blocking()) {
+    set_blocking(blocking);
+  }
+  mode_guard(const mode_guard&) = delete;
+  mode_guard& operator=(const mode_guard&) = delete;
+  ~mode_guard() { set_blocking(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// Compare-and-compare-and-swap toggle (paper §6 "Avoiding CASes").
+// On by default; the micro bench flips it off to measure the ablation.
+inline std::atomic<bool>& ccas_flag() noexcept {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+inline void set_ccas(bool b) noexcept {
+  ccas_flag().store(b, std::memory_order_relaxed);
+}
+inline bool use_ccas() noexcept {
+  return ccas_flag().load(std::memory_order_relaxed);
+}
+
+}  // namespace flock

@@ -1,0 +1,75 @@
+// descriptor.hpp — the descriptor a thread leaves behind when it takes a
+// lock (paper §1, §3, §4): the thunk to run, the shared idempotence log,
+// a done flag, plus two implementation fields from §6: the creation epoch
+// (helpers adopt it) and a helped flag (never-helped descriptors are
+// reused immediately instead of epoch-retired).
+//
+// The first log block is embedded, so acquiring a lock costs exactly one
+// pool allocation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "allocator.hpp"
+#include "config.hpp"
+#include "epoch.hpp"
+#include "log.hpp"
+#include "stats.hpp"
+#include "thunk.hpp"
+
+namespace flock {
+
+struct descriptor {
+  log_block head;                   // first log block, embedded
+  std::atomic<bool> done{false};    // update-once; loads of it are logged
+  std::atomic<bool> helped{false};  // §6 reuse optimization (see lock.hpp)
+  int64_t epoch = -1;               // creator's announced epoch
+  thunk fn;
+
+  descriptor() = default;
+  descriptor(const descriptor&) = delete;
+  descriptor& operator=(const descriptor&) = delete;
+
+  ~descriptor() {
+    // Free any overflow log blocks. Safe: destruction happens either
+    // before the descriptor was ever published (loser of an idempotent
+    // allocation) or after epoch reclamation says nobody can reach it.
+    log_block* b = head.next.load(std::memory_order_acquire);
+    while (b != nullptr) {
+      log_block* nxt = b->next.load(std::memory_order_acquire);
+      pool_delete(b);
+      b = nxt;
+    }
+  }
+
+  /// Alg. 2 `run`: install this descriptor's log as the thread's current
+  /// log, run the thunk, restore the previous log (supports nesting).
+  bool run() {
+    log_cursor& cur = tls_log();
+    log_cursor saved = cur;
+    cur = {&head, 0};
+    bool result = fn();
+    cur = saved;
+    return result;
+  }
+};
+
+/// Idempotent descriptor creation (Alg. 3 createDescriptor): every run of
+/// the enclosing thunk builds a candidate; the first to commit wins and
+/// losers free theirs (they were never published).
+template <class F>
+descriptor* create_descriptor(F&& f) {
+  detail::my_stats().created++;
+  descriptor* mine = pool_new<descriptor>();
+  mine->fn.emplace(std::forward<F>(f));
+  int64_t e = epoch_manager::instance().announced(thread_id());
+  mine->epoch = e >= 0 ? e : epoch_manager::instance().current_epoch();
+  auto [committed, first] =
+      commit64_first(reinterpret_cast<uint64_t>(mine));
+  if (first) return mine;
+  pool_delete(mine);
+  return reinterpret_cast<descriptor*>(committed);
+}
+
+}  // namespace flock

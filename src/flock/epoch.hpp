@@ -1,0 +1,191 @@
+// epoch.hpp — epoch-based memory reclamation (paper §6 "Epoch-based
+// collection") with helper epoch adoption.
+//
+// Scheme: a global epoch counter plus one padded announcement slot per
+// thread. An operation announces the current global epoch for its whole
+// duration (`with_epoch`). Retired objects are stamped with the global
+// epoch at retire time and freed once every announced epoch is strictly
+// greater than the stamp. Because an object is only retired after it was
+// reachable, any reader that can still hold a reference announced an epoch
+// no larger than the retire stamp, so the gate is sound.
+//
+// Helper adoption (paper §6): when a thread helps a descriptor it lowers
+// its announcement to min(own, descriptor epoch) and restores it after.
+// This is safe because (a) lowering an announcement only widens protection,
+// and (b) while a descriptor is installed on a lock and not yet unlocked,
+// its creator is still inside `with_epoch` announcing the descriptor's
+// epoch, so nothing from that epoch onwards has been freed (see lock.hpp
+// for the ordering that makes the hand-off airtight).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "allocator.hpp"
+#include "config.hpp"
+#include "threading.hpp"
+
+namespace flock {
+
+class epoch_manager {
+  struct alignas(kCacheLine) slot_t {
+    std::atomic<int64_t> announced{-1};
+    int depth = 0;  // touched only by the owning thread
+  };
+
+  struct retired_item {
+    void* p;
+    void (*del)(void*);
+    int64_t epoch;
+  };
+
+  struct alignas(kCacheLine) retired_list {
+    std::vector<retired_item> items;
+    int64_t since_scan = 0;
+  };
+
+  static constexpr int64_t kScanThreshold = 64;
+
+ public:
+  static epoch_manager& instance() {
+    static epoch_manager m;
+    return m;
+  }
+
+  /// Run `f` inside an epoch-protected region. Nesting is allowed; only the
+  /// outermost level announces.
+  template <class F>
+  auto with_epoch(F&& f) -> decltype(f()) {
+    const int me = thread_id();
+    slot_t& s = slots_[me];
+    if (s.depth++ == 0) {
+      // seq_cst so the announcement is visible before any reads inside.
+      s.announced.store(global_.load(std::memory_order_relaxed),
+                        std::memory_order_seq_cst);
+    }
+    struct guard {
+      slot_t* s;
+      ~guard() {
+        if (--s->depth == 0)
+          s->announced.store(-1, std::memory_order_release);
+      }
+    } g{&s};
+    return f();
+  }
+
+  /// Defer destruction of `p` until no announced epoch can still reference
+  /// it. `del` must be a plain function (e.g. pool_delete_erased<T>).
+  void retire(void* p, void (*del)(void*)) {
+    const int me = thread_id();
+    retired_list& r = retired_[me];
+    r.items.push_back({p, del, global_.load(std::memory_order_acquire)});
+    if (++r.since_scan >= kScanThreshold) {
+      r.since_scan = 0;
+      try_advance();
+      collect(r);
+    }
+  }
+
+  /// Current announcement of a thread (-1 when quiescent).
+  int64_t announced(int tid) const {
+    return slots_[tid].announced.load(std::memory_order_acquire);
+  }
+
+  /// Helper adoption: lower the calling thread's announcement to
+  /// min(current, e). Returns the previous announcement for restore().
+  int64_t adopt(int64_t e) {
+    slot_t& s = slots_[thread_id()];
+    int64_t prev = s.announced.load(std::memory_order_relaxed);
+    if (prev < 0 || e < prev)
+      s.announced.store(e, std::memory_order_seq_cst);
+    return prev;
+  }
+
+  void restore(int64_t prev) {
+    slots_[thread_id()].announced.store(prev, std::memory_order_seq_cst);
+  }
+
+  int64_t current_epoch() const {
+    return global_.load(std::memory_order_acquire);
+  }
+
+  /// Objects retired by any thread but not yet freed (approximate).
+  long long pending() const {
+    long long n = 0;
+    for (int i = 0; i < kMaxThreads; i++)
+      n += static_cast<long long>(retired_[i].items.size());
+    return n;
+  }
+
+  /// Test/shutdown hook: advance epochs and drain every thread's retire
+  /// list, including lists stranded by exited threads. Requires
+  /// quiescence (no concurrent operations in flight) to fully drain; safe
+  /// to call concurrently only with other flush() calls being absent.
+  void flush() {
+    for (int i = 0; i < 3; i++) try_advance();
+    const int bound = thread_id_bound();
+    for (int i = 0; i < bound; i++) collect(retired_[i]);
+  }
+
+ private:
+  epoch_manager() = default;
+  // Deliberately no cleanup at static destruction: pools may already be
+  // gone. Tests drain with flush().
+  ~epoch_manager() = default;
+
+  int64_t min_announced() const {
+    int64_t mn = INT64_MAX;
+    const int bound = thread_id_bound();
+    for (int i = 0; i < bound; i++) {
+      int64_t e = slots_[i].announced.load(std::memory_order_acquire);
+      if (e >= 0 && e < mn) mn = e;
+    }
+    return mn;
+  }
+
+  void try_advance() {
+    int64_t g = global_.load(std::memory_order_acquire);
+    int64_t mn = min_announced();
+    // Advance only when every announced thread has caught up with the
+    // current epoch; this bounds the distance between announcements and
+    // the global counter to one advance per full quiescence cycle.
+    if (mn == INT64_MAX || mn >= g)
+      global_.compare_exchange_strong(g, g + 1, std::memory_order_acq_rel);
+  }
+
+  void collect(retired_list& r) {
+    if (r.items.empty()) return;
+    const int64_t mn = min_announced();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < r.items.size(); i++) {
+      retired_item& it = r.items[i];
+      // Freeable once no announced epoch is <= the retire stamp.
+      if (mn == INT64_MAX || it.epoch < mn) {
+        it.del(it.p);
+      } else {
+        r.items[keep++] = it;
+      }
+    }
+    r.items.resize(keep);
+  }
+
+  std::atomic<int64_t> global_{0};
+  slot_t slots_[kMaxThreads];
+  retired_list retired_[kMaxThreads];
+};
+
+/// Convenience wrappers used throughout the library. ------------------------
+
+template <class F>
+inline auto with_epoch(F&& f) -> decltype(f()) {
+  return epoch_manager::instance().with_epoch(std::forward<F>(f));
+}
+
+/// Epoch-deferred pool reclamation of a pool_new<T>'d object.
+template <class T>
+inline void epoch_retire(T* p) {
+  epoch_manager::instance().retire(p, &pool_delete_erased<T>);
+}
+
+}  // namespace flock

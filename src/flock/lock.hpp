@@ -1,0 +1,276 @@
+// lock.hpp — lock-free try-locks and strict locks (paper §4, Algorithm 3)
+// plus the blocking (test-and-test-and-set) mode selected at runtime (§7).
+//
+// A lock is one compact mutable word holding (descriptor pointer | locked
+// bit). In lock-free mode, try_lock either installs a descriptor and runs
+// it, or helps whoever is installed and returns false. Anyone may run a
+// descriptor at any time; idempotence (descriptor log) makes that safe.
+//
+// Log-slot discipline (this is what keeps nested locks correct): every run
+// of an enclosing thunk must consume the *same* log slots in the same
+// order. The deterministic prefix of try_lock — logged state load,
+// idempotent descriptor allocation, logged re-load, logged done-load, and
+// the branch-dependent (but branch-deterministic) retire commit — does.
+// Helping and unlocking consume NO enclosing slots: they use raw
+// effects-once CASes, which are inherently idempotent because the lock
+// word's tag is monotonic while any stale referencer exists (descriptor
+// reuse is epoch-gated, see retire paths below).
+//
+// helped/reuse hand-off (§6 "This requires some careful synchronization"):
+//   helper:  helped.store(true); seq_cst fence; re-read lock word ==
+//            installed value? run : abort.
+//   owner:   unlock (or observe unlocked); seq_cst fence; read helped.
+// The two seq_cst fences order the pair: either the owner sees
+// helped==true (and epoch-retires), or the helper sees the word moved on
+// (and never touches the descriptor). C++20 fence/coherence rules make
+// this airtight even when the retiring run only *observed* the unlock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "config.hpp"
+#include "descriptor.hpp"
+#include "epoch.hpp"
+#include "log.hpp"
+#include "mutable.hpp"
+#include "stats.hpp"
+
+namespace flock {
+namespace detail {
+
+inline constexpr uint64_t kLockedBit = 1;
+
+inline bool lv_locked(uint64_t val) { return (val & kLockedBit) != 0; }
+inline descriptor* lv_descr(uint64_t val) {
+  return reinterpret_cast<descriptor*>(val & ~kLockedBit);
+}
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+using lock_word = mutable_<uint64_t>;
+
+/// Effects-once unlock: flip (d|locked) -> (d|unlocked) if still current.
+/// Raw (no enclosing log slots); the tag makes repeats harmless.
+inline void raw_unlock(lock_word& st, descriptor* d) {
+  uint64_t p = st.read_raw_packed();
+  uint64_t lockedv = reinterpret_cast<uint64_t>(d) | kLockedBit;
+  if (val_of(p) == lockedv)
+    st.cas_raw_packed(p, reinterpret_cast<uint64_t>(d));
+}
+
+/// Run the descriptor's thunk (idempotently), mark done, release the lock.
+inline bool run_and_unlock(lock_word& st, descriptor* d) {
+  bool result = d->run();
+  d->done.store(true, std::memory_order_release);
+  raw_unlock(st, d);
+  return result;
+}
+
+/// Help the descriptor currently installed on `st` (Alg. 3 lines 24/26).
+/// `cur_packed` is the packed word under which the caller saw it locked.
+/// Consumes no enclosing log slots.
+inline void help(lock_word& st, uint64_t cur_packed) {
+  descriptor* d = lv_descr(val_of(cur_packed));
+  my_stats().attempted++;
+  d->helped.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Adopt the descriptor's epoch before validating: if the validation
+  // passes, the creator was still announced at d->epoch when we re-read,
+  // so everything the thunk can reach is protected from then on by *our*
+  // lowered announcement (see epoch.hpp).
+  epoch_manager& em = epoch_manager::instance();
+  int64_t prev = em.adopt(d->epoch);
+  if (st.read_raw_packed() == cur_packed) {
+    my_stats().ran++;
+    run_and_unlock(st, d);
+  }
+  em.restore(prev);
+}
+
+/// Retire a descriptor that was successfully installed. The retire
+/// decision goes through the log (one slot) so exactly one run of an
+/// enclosing thunk performs it. Top-level, never-helped descriptors are
+/// returned to the pool immediately (§6 optimization); everything else is
+/// epoch-retired because stale runs (of the descriptor itself, or of an
+/// enclosing thunk replaying this code) may still hold the pointer.
+inline void retire_installed(descriptor* d) {
+  bool nested = in_thunk();
+  if (!commit64_first(1).second) return;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!nested && !d->helped.load(std::memory_order_relaxed)) {
+    my_stats().reused++;
+    pool_delete(d);
+  } else {
+    epoch_retire(d);
+  }
+}
+
+/// Retire a descriptor whose install CAS lost: it was never on the lock,
+/// but nested replays can still reach it through the enclosing log.
+inline void retire_unpublished(descriptor* d) {
+  bool nested = in_thunk();
+  if (!commit64_first(1).second) return;
+  if (!nested)
+    pool_delete(d);
+  else
+    epoch_retire(d);
+}
+
+// --- lock-free (helping) mode ---------------------------------------------
+
+template <class F>
+bool try_lock_helping(lock_word& st, F&& f) {
+  uint64_t cur = st.load_packed();  // logged
+  if (!lv_locked(val_of(cur))) {
+    descriptor* d = create_descriptor(std::forward<F>(f));  // logged alloc
+    uint64_t minev = reinterpret_cast<uint64_t>(d) | kLockedBit;
+    st.cas_raw_packed(cur, minev);  // install CAM: effects-once via tag
+    uint64_t nowv = val_of(st.load_packed());  // logged
+    bool d_done = commit_bool(d->done.load(std::memory_order_acquire));
+    if (d_done || nowv == minev) {
+      // Acquired (possibly already helped to completion).
+      bool result = run_and_unlock(st, d);
+      retire_installed(d);
+      return result;
+    }
+    if (lv_locked(nowv)) {
+      // Help whoever holds the lock *now*; a fresh read keeps the helped
+      // descriptor current, and help() revalidates before running.
+      uint64_t fresh = st.read_raw_packed();
+      if (lv_locked(val_of(fresh))) help(st, fresh);
+    }
+    retire_unpublished(d);
+    return false;
+  }
+  help(st, cur);
+  return false;
+}
+
+template <class F>
+bool strict_lock_helping(lock_word& st, F&& f) {
+  // §4: "by first creating the descriptor, and then putting the attempt to
+  // acquire a lock into a while loop". All logged values are identical
+  // across runs, so every run executes the same number of iterations.
+  descriptor* d = create_descriptor(std::forward<F>(f));
+  uint64_t minev = reinterpret_cast<uint64_t>(d) | kLockedBit;
+  while (true) {
+    uint64_t cur = st.load_packed();  // logged
+    if (!lv_locked(val_of(cur))) {
+      st.cas_raw_packed(cur, minev);
+      uint64_t nowv = val_of(st.load_packed());  // logged
+      bool d_done = commit_bool(d->done.load(std::memory_order_acquire));
+      if (d_done || nowv == minev) {
+        bool result = run_and_unlock(st, d);
+        retire_installed(d);
+        return result;
+      }
+      if (lv_locked(nowv)) {
+        uint64_t fresh = st.read_raw_packed();
+        if (lv_locked(val_of(fresh))) help(st, fresh);
+      }
+    } else {
+      help(st, cur);
+    }
+  }
+}
+
+// --- blocking (test-and-test-and-set) mode ---------------------------------
+
+template <class F>
+bool try_lock_blocking(lock_word& st, F&& f) {
+  uint64_t p = st.read_raw_packed();
+  if (lv_locked(val_of(p))) return false;
+  if (!st.cas_raw_packed(p, kLockedBit)) return false;
+  bool result = f();
+  st.store_raw(0);
+  return result;
+}
+
+template <class F>
+bool strict_lock_blocking(lock_word& st, F&& f) {
+  int backoff = 1;
+  while (true) {
+    uint64_t p = st.read_raw_packed();
+    if (!lv_locked(val_of(p))) {
+      if (st.cas_raw_packed(p, kLockedBit)) break;
+    } else {
+      for (int i = 0; i < backoff; i++) cpu_pause();
+      if (backoff < 1024)
+        backoff <<= 1;
+      else
+        std::this_thread::yield();
+    }
+  }
+  bool result = f();
+  st.store_raw(0);
+  return result;
+}
+
+}  // namespace detail
+
+/// A Flock lock. One word; zero-initialized means unlocked.
+class lock {
+ public:
+  lock() = default;
+  lock(const lock&) = delete;
+  lock& operator=(const lock&) = delete;
+
+  /// Acquire-run-release if free; otherwise (lock-free mode) help the
+  /// current holder and return false (Alg. 3 tryLock). The thunk must
+  /// capture by value and is run idempotently in lock-free mode.
+  template <class F>
+  bool try_lock(F&& f) {
+    if (is_blocking())
+      return detail::try_lock_blocking(state_, std::forward<F>(f));
+    return detail::try_lock_helping(state_, std::forward<F>(f));
+  }
+
+  /// Strict lock: loops (helping in lock-free mode) until acquired.
+  template <class F>
+  bool strict_lock(F&& f) {
+    if (is_blocking())
+      return detail::strict_lock_blocking(state_, std::forward<F>(f));
+    return detail::strict_lock_helping(state_, std::forward<F>(f));
+  }
+
+  /// Early release (§4): undefined unless the calling thread('s thunk)
+  /// holds the lock. Enables hand-over-hand locking.
+  void unlock() {
+    if (is_blocking()) {
+      state_.store_raw(0);
+      return;
+    }
+    uint64_t cur = state_.load_packed();  // logged
+    if (detail::lv_locked(val_of(cur)))
+      state_.cas_raw_packed(cur, val_of(cur) & ~detail::kLockedBit);
+  }
+
+  bool is_locked() const {
+    return detail::lv_locked(val_of(state_.read_raw_packed()));
+  }
+
+ private:
+  detail::lock_word state_;
+};
+
+/// Free-function spellings matching the paper's examples.
+template <class F>
+bool try_lock(lock& l, F&& f) {
+  return l.try_lock(std::forward<F>(f));
+}
+template <class F>
+bool strict_lock(lock& l, F&& f) {
+  return l.strict_lock(std::forward<F>(f));
+}
+inline void unlock(lock& l) { l.unlock(); }
+
+}  // namespace flock

@@ -1,0 +1,160 @@
+// log.hpp — the shared idempotence log (paper §3, Algorithm 2).
+//
+// Every thunk (descriptor) carries a log shared by all processes that run
+// it. Each loggable event — a load of a mutable location, an allocation, a
+// retirement, a committed boolean — occupies one 128-bit slot. A run
+// commits its candidate value with a CAS(empty → value) and then adopts
+// whatever the slot holds, so all runs of the thunk observe identical
+// values and stay synchronized (same branches, same log positions).
+//
+// Differences from the paper's pseudocode, both strengthenings:
+//  * committed entries always carry a "present" bit, so the empty sentinel
+//    can never collide with a legitimate value (Alg. 2 instead assumes
+//    `empty` is never stored by users);
+//  * commits use compare-and-compare-and-swap (§6 "Avoiding CASes"):
+//    read the slot first and skip the CAS when it is already full.
+//
+// Logs grow in blocks of kLogBlockEntries entries (§6 "Arbitrary Length
+// Logs"); extending the chain is itself idempotent: the first run to
+// overflow CASes a fresh block into the next pointer, losers free theirs.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "allocator.hpp"
+#include "config.hpp"
+#include "epoch.hpp"
+
+namespace flock {
+
+using u128 = unsigned __int128;
+
+inline constexpr u128 kLogPresent = static_cast<u128>(1) << 127;
+inline constexpr u128 kLogEmpty = 0;
+
+struct log_entry {
+  std::atomic<u128> v{kLogEmpty};
+};
+
+struct log_block {
+  log_entry entries[kLogBlockEntries];
+  std::atomic<log_block*> next{nullptr};
+
+  /// Reset for pool reuse. Only legal when no other thread can access the
+  /// block (e.g. a never-helped descriptor, see lock.hpp).
+  void reset() {
+    for (auto& e : entries) e.v.store(kLogEmpty, std::memory_order_relaxed);
+    next.store(nullptr, std::memory_order_relaxed);
+  }
+};
+
+/// Thread-local cursor into the log of the thunk the thread is currently
+/// running; {nullptr, 0} outside of any thunk (then commits pass through).
+struct log_cursor {
+  log_block* block = nullptr;
+  int pos = 0;
+};
+
+inline log_cursor& tls_log() noexcept {
+  thread_local log_cursor cur;
+  return cur;
+}
+
+/// True when the calling thread is executing inside a thunk, i.e. loggable
+/// operations will be committed to a shared log.
+inline bool in_thunk() noexcept { return tls_log().block != nullptr; }
+
+/// Per-thread count of log-slot commits, for instrumentation (e.g. the
+/// paper's "a successful insert commits about 5 entries to the log").
+inline uint64_t& tls_commit_count() noexcept {
+  thread_local uint64_t n = 0;
+  return n;
+}
+
+namespace detail {
+
+/// Move the cursor to the next slot, growing the chain idempotently.
+inline void log_bump(log_cursor& cur) {
+  if (++cur.pos < kLogBlockEntries) return;
+  log_block* nxt = cur.block->next.load(std::memory_order_acquire);
+  if (nxt == nullptr) {
+    log_block* mine = pool_new<log_block>();
+    log_block* expected = nullptr;
+    if (cur.block->next.compare_exchange_strong(expected, mine,
+                                                std::memory_order_acq_rel)) {
+      nxt = mine;
+    } else {
+      pool_delete(mine);  // never published
+      nxt = expected;
+    }
+  }
+  cur.block = nxt;
+  cur.pos = 0;
+}
+
+}  // namespace detail
+
+/// commitValue (Alg. 2 line 31) on a raw 128-bit payload. The payload must
+/// not use bit 127 (the present bit). Returns the committed payload and
+/// whether the calling run was first to commit.
+inline std::pair<u128, bool> commit_raw(u128 payload) {
+  log_cursor& cur = tls_log();
+  if (cur.block == nullptr) return {payload, true};  // outside any lock
+  log_entry& slot = cur.block->entries[cur.pos];
+  detail::log_bump(cur);
+  ++tls_commit_count();
+
+  const u128 desired = payload | kLogPresent;
+  if (use_ccas()) {
+    // Compare-and-compare-and-swap (§6): skip the CAS when already full.
+    u128 seen = slot.v.load(std::memory_order_acquire);
+    if (seen != kLogEmpty) return {seen & ~kLogPresent, false};
+  }
+  u128 expected = kLogEmpty;
+  if (slot.v.compare_exchange_strong(expected, desired,
+                                     std::memory_order_acq_rel)) {
+    return {payload, true};
+  }
+  return {expected & ~kLogPresent, false};
+}
+
+/// Convenience: commit a 64-bit value.
+inline uint64_t commit64(uint64_t v) {
+  return static_cast<uint64_t>(commit_raw(v).first);
+}
+
+inline std::pair<uint64_t, bool> commit64_first(uint64_t v) {
+  auto [c, first] = commit_raw(v);
+  return {static_cast<uint64_t>(c), first};
+}
+
+inline bool commit_bool(bool b) { return commit64(b ? 1 : 0) != 0; }
+
+/// Users can commit arbitrary nondeterministic results (paper §3.2: "The
+/// commitValue can also be used directly by the user").
+inline uint64_t commit_value(uint64_t v) { return commit64(v); }
+
+/// Idempotent allocation (Alg. 2 line 51): every run constructs its own
+/// candidate, the first to commit wins, losers destroy theirs.
+template <class T, class... Args>
+T* idem_new(Args&&... args) {
+  T* mine = pool_new<T>(std::forward<Args>(args)...);
+  auto [committed, first] =
+      commit64_first(reinterpret_cast<uint64_t>(mine));
+  if (first) return mine;
+  pool_delete(mine);  // never published: immediate free is safe
+  return reinterpret_cast<T*>(committed);
+}
+
+/// Idempotent retirement (Alg. 2 line 57): the first run to commit the
+/// flag owns the retirement; epoch-based collection frees it later.
+template <class T>
+void idem_retire(T* obj) {
+  bool first = commit64_first(1).second;
+  if (first) epoch_retire(obj);
+}
+
+}  // namespace flock

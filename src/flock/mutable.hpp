@@ -1,0 +1,212 @@
+// mutable.hpp — idempotent shared mutable locations (paper §3.2, Alg. 2,
+// and the §6 ABA optimizations).
+//
+// Three flavors:
+//  * mutable_<T>    — "compact": one 64-bit word = 48-bit value + 16-bit
+//                     tag. This is what the paper's experiments use ("All
+//                     the experiments in Section 8 use this version since
+//                     the mutables are no larger than a pointer").
+//  * mutable_dw<T>  — fully general: (64-bit counter, 64-bit value) pair
+//                     updated with a 16-byte CAS; loads touch only the two
+//                     64-bit halves (§6 first optimization: "a load only
+//                     needs to log the value... a store does not need to
+//                     read the counter and value atomically").
+//  * write_once<T>  — see write_once.hpp.
+//
+// Semantics (Alg. 2): load commits the observed value to the enclosing
+// thunk's log so every run of the thunk sees the same value; store = load
+// + CAS whose expected value is the logged one (tag/counter makes the
+// location ABA-free, so all but the first CAS of a given thunk-store
+// fail); cam is a CAS that externalizes no result. Outside of any thunk,
+// commits pass through and these degrade to ordinary atomics.
+//
+// Usage rule inherited from the paper: stores and CAMs must not race on
+// the same location (enforce with your locking discipline).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "config.hpp"
+#include "log.hpp"
+#include "tagged.hpp"
+
+namespace flock {
+
+// ---------------------------------------------------------------------------
+// Compact mutable: 48-bit value + 16-bit tag in one word.
+// ---------------------------------------------------------------------------
+template <class T>
+class mutable_ {
+ public:
+  mutable_() : word_(pack_tagged(1, 0)) {}
+  explicit mutable_(T v) : word_(pack_tagged(1, to_bits48(v))) {}
+
+  mutable_(const mutable_&) = delete;
+  mutable_& operator=(const mutable_&) = delete;
+
+  /// Non-atomic initialization (object not yet shared).
+  void init(T v) {
+    word_.store(pack_tagged(1, to_bits48(v)), std::memory_order_relaxed);
+  }
+
+  /// Idempotent load: logged inside a thunk (Alg. 2 line 40).
+  T load() const {
+    return from_bits48<T>(val_of(load_packed()));
+  }
+
+  /// Idempotent store (Alg. 2 line 43): logged load then tag-bumping CAS.
+  void store(T v) {
+    uint64_t oldp = load_packed();
+    cas_packed(oldp, pack_tagged(detail::next_tag(this, oldp), to_bits48(v)));
+  }
+
+  /// Idempotent CAM (Alg. 2 line 46): CAS that returns nothing.
+  void cam(T expected, T desired) {
+    uint64_t oldp = load_packed();
+    if (val_of(oldp) != to_bits48(expected)) return;
+    cas_packed(oldp,
+               pack_tagged(detail::next_tag(this, oldp), to_bits48(desired)));
+  }
+
+  /// Sugar matching the paper's examples: assignment stores.
+  mutable_& operator=(T v) {
+    store(v);
+    return *this;
+  }
+
+  // --- Raw (unlogged) access: used by the lock implementation for the
+  // effects-once steps that must not consume enclosing log slots, by
+  // blocking mode, and by read-only code outside of any thunk. -------------
+  T read_raw() const {
+    return from_bits48<T>(val_of(word_.load(std::memory_order_acquire)));
+  }
+  uint64_t read_raw_packed() const {
+    return word_.load(std::memory_order_acquire);
+  }
+  /// Tag-bumping raw CAS; announced so tag-wrap scans can see the expected
+  /// word. Returns true if this call installed the new value.
+  bool cas_raw_packed(uint64_t expected_packed, T desired) {
+    return cas_packed(
+        expected_packed,
+        pack_tagged(detail::next_tag(this, expected_packed),
+                    to_bits48(desired)));
+  }
+  /// Plain release store (blocking mode only: no helpers exist).
+  void store_raw(T v) {
+    uint64_t oldp = word_.load(std::memory_order_acquire);
+    word_.store(pack_tagged(detail::next_tag(this, oldp), to_bits48(v)),
+                std::memory_order_release);
+  }
+
+  /// Logged load returning the full packed word (lock implementation).
+  uint64_t load_packed() const {
+    uint64_t p = word_.load(std::memory_order_acquire);
+    if (in_thunk()) p = commit64(p);
+    return p;
+  }
+
+ private:
+  bool cas_packed(uint64_t expected, uint64_t desired) {
+    if (use_ccas() &&
+        word_.load(std::memory_order_acquire) != expected)
+      return false;  // compare-and-compare-and-swap (§6)
+    detail::announce_guard g(this, expected);
+    return word_.compare_exchange_strong(expected, desired,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  std::atomic<uint64_t> word_;
+};
+
+// ---------------------------------------------------------------------------
+// Double-word mutable: 64-bit monotonic counter + full 64-bit value.
+// ---------------------------------------------------------------------------
+template <class T>
+class alignas(16) mutable_dw {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+
+  struct rep {
+    uint64_t val;
+    uint64_t cnt;
+  };
+
+ public:
+  mutable_dw() : rep_{0, 1} {}
+  explicit mutable_dw(T v) : rep_{to_bits(v), 1} {}
+  mutable_dw(const mutable_dw&) = delete;
+  mutable_dw& operator=(const mutable_dw&) = delete;
+
+  void init(T v) {
+    rep_.val = to_bits(v);
+    rep_.cnt = 1;
+  }
+
+  T load() const { return from_bits(load_pair().val); }
+
+  void store(T v) {
+    rep pair = load_pair();
+    rep desired{to_bits(v), pair.cnt + 1};
+    cas_pair(pair, desired);
+  }
+
+  void cam(T expected, T desired) {
+    rep pair = load_pair();
+    if (pair.val != to_bits(expected)) return;
+    cas_pair(pair, rep{to_bits(desired), pair.cnt + 1});
+  }
+
+  mutable_dw& operator=(T v) {
+    store(v);
+    return *this;
+  }
+
+  T read_raw() const {
+    return from_bits(__atomic_load_n(&rep_.val, __ATOMIC_ACQUIRE));
+  }
+
+ private:
+  static uint64_t to_bits(T v) {
+    uint64_t b = 0;
+    __builtin_memcpy(&b, &v, sizeof(T));
+    return b;
+  }
+  static T from_bits(uint64_t b) {
+    T v{};
+    __builtin_memcpy(&v, &b, sizeof(T));
+    return v;
+  }
+
+  /// §6 first optimization: no 16-byte atomic load. Read the counter, then
+  /// the value; the pair is logged so all runs of the thunk agree, and a
+  /// torn read simply makes the subsequent CAS fail (which is only
+  /// possible when another location's lock raced a pure reader — stores
+  /// to this location cannot race by assumption).
+  rep load_pair() const {
+    uint64_t c = __atomic_load_n(&rep_.cnt, __ATOMIC_ACQUIRE);
+    uint64_t v = __atomic_load_n(&rep_.val, __ATOMIC_ACQUIRE);
+    if (in_thunk()) {
+      // Counter fits in 63 bits; bit 127 stays free for the present bit.
+      u128 committed = commit_raw((static_cast<u128>(c) << 64) | v).first;
+      c = static_cast<uint64_t>(committed >> 64);
+      v = static_cast<uint64_t>(committed);
+    }
+    return rep{v, c};
+  }
+
+  bool cas_pair(rep expected, rep desired) {
+    if (use_ccas()) {
+      uint64_t c = __atomic_load_n(&rep_.cnt, __ATOMIC_ACQUIRE);
+      if (c != expected.cnt) return false;
+    }
+    return __atomic_compare_exchange(&rep_, &expected, &desired,
+                                     /*weak=*/false, __ATOMIC_ACQ_REL,
+                                     __ATOMIC_ACQUIRE);
+  }
+
+  mutable rep rep_;
+};
+
+}  // namespace flock

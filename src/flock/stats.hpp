@@ -1,0 +1,54 @@
+// stats.hpp — lightweight introspection counters for the helping
+// machinery. Per-thread relaxed counters (padded), aggregated on demand;
+// the hot-path cost is one thread-local increment. Used by benchmarks to
+// report helping rates and by tests to assert helping actually happened.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "config.hpp"
+#include "threading.hpp"
+
+namespace flock {
+
+struct stats_snapshot {
+  uint64_t descriptors_created = 0;  // lock acquisitions (lock-free mode)
+  uint64_t helps_attempted = 0;      // help() entries
+  uint64_t helps_run = 0;            // help() revalidations that ran a thunk
+  uint64_t descriptors_reused = 0;   // fast-path pool reuse (never helped)
+};
+
+namespace detail {
+
+struct alignas(kCacheLine) stat_cell {
+  uint64_t created = 0;
+  uint64_t attempted = 0;
+  uint64_t ran = 0;
+  uint64_t reused = 0;
+};
+
+inline stat_cell* stat_cells() {
+  static stat_cell cells[kMaxThreads];
+  return cells;
+}
+
+inline stat_cell& my_stats() { return stat_cells()[thread_id()]; }
+
+}  // namespace detail
+
+/// Aggregate counters across all threads (monotonic since process start).
+inline stats_snapshot stats() {
+  stats_snapshot s;
+  const int bound = thread_id_bound();
+  for (int i = 0; i < bound; i++) {
+    const detail::stat_cell& c = detail::stat_cells()[i];
+    s.descriptors_created += c.created;
+    s.helps_attempted += c.attempted;
+    s.helps_run += c.ran;
+    s.descriptors_reused += c.reused;
+  }
+  return s;
+}
+
+}  // namespace flock

@@ -1,0 +1,124 @@
+// tagged.hpp — 48-bit value + 16-bit tag packing and the announcement
+// array that makes 16-bit tag reuse safe (paper §6 "ABA", second
+// optimization: "roughly it uses an announcement array to ensure that
+// wrapping around is safe — i.e., it never uses a tag that is announced").
+//
+// Protocol implemented here:
+//  * a helper that is about to CAS a compact mutable announces the
+//    (location, expected packed word) pair in its per-thread slot, with a
+//    seq_cst fence, and clears the slot after the CAS;
+//  * a writer that wraps a location's 16-bit tag scans the announcement
+//    array and picks the next tag not announced for that location.
+//
+// Residual assumption (documented per DESIGN.md §5): an announcement that
+// races with a concurrent wrap scan is only dangerous if the location's
+// tag additionally wraps all the way around (2^16 stores) while the
+// announcing helper sleeps *and* the packed values collide. The paper's
+// own scheme ("the full description is beyond the scope of this paper")
+// accepts equivalent engineering assumptions; the fully sound
+// mutable_dw<T> (64-bit counter) is available where this is unacceptable.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+#include "config.hpp"
+#include "threading.hpp"
+
+namespace flock {
+
+inline constexpr int kTagBits = 16;
+inline constexpr int kValBits = 48;
+inline constexpr uint64_t kValMask = (uint64_t{1} << kValBits) - 1;
+inline constexpr uint64_t kTagLimit = uint64_t{1} << kTagBits;
+
+constexpr uint64_t pack_tagged(uint64_t tag, uint64_t val) {
+  return (tag << kValBits) | (val & kValMask);
+}
+constexpr uint64_t tag_of(uint64_t packed) { return packed >> kValBits; }
+constexpr uint64_t val_of(uint64_t packed) { return packed & kValMask; }
+
+namespace detail {
+
+struct alignas(kCacheLine) announce_slot {
+  std::atomic<const void*> loc{nullptr};
+  std::atomic<uint64_t> packed{0};
+};
+
+inline announce_slot* announce_slots() {
+  static announce_slot slots[kMaxThreads];
+  return slots;
+}
+
+/// Announce an expected packed word for `loc` around a CAS. RAII so the
+/// slot is always cleared.
+class announce_guard {
+ public:
+  announce_guard(const void* loc, uint64_t packed) {
+    slot_ = &announce_slots()[thread_id()];
+    slot_->packed.store(packed, std::memory_order_relaxed);
+    slot_->loc.store(loc, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+  announce_guard(const announce_guard&) = delete;
+  announce_guard& operator=(const announce_guard&) = delete;
+  ~announce_guard() {
+    slot_->loc.store(nullptr, std::memory_order_release);
+  }
+
+ private:
+  announce_slot* slot_;
+};
+
+/// Next tag for `loc`, given the current packed word. Fast path: +1. On
+/// wrap, scan announcements and skip tags still held for this location.
+inline uint64_t next_tag(const void* loc, uint64_t cur_packed) {
+  uint64_t t = tag_of(cur_packed) + 1;
+  if (t < kTagLimit) [[likely]]
+    return t;
+  // Wrapped: gather announced tags for this location.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  uint64_t banned[kMaxThreads];
+  int nbanned = 0;
+  const int bound = thread_id_bound();
+  announce_slot* slots = announce_slots();
+  for (int i = 0; i < bound; i++) {
+    if (slots[i].loc.load(std::memory_order_acquire) == loc)
+      banned[nbanned++] = tag_of(slots[i].packed.load(std::memory_order_acquire));
+  }
+  for (t = 1;; t++) {  // at most kMaxThreads+1 iterations
+    bool ok = true;
+    for (int i = 0; i < nbanned; i++)
+      if (banned[i] == t) {
+        ok = false;
+        break;
+      }
+    if (ok) return t;
+  }
+}
+
+}  // namespace detail
+
+/// Bit-cast a trivially copyable T (<= 48 bits of payload) to/from the
+/// packed value field.
+template <class T>
+uint64_t to_bits48(T v) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "compact mutables hold trivially copyable values <= 8 bytes");
+  uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(T));
+  assert((b & ~kValMask) == 0 &&
+         "value does not fit in 48 bits; use mutable_dw<T>");
+  return b;
+}
+
+template <class T>
+T from_bits48(uint64_t b) {
+  T v{};
+  std::memcpy(&v, &b, sizeof(T));
+  return v;
+}
+
+}  // namespace flock

@@ -1,0 +1,60 @@
+// thunk.hpp — a thunk is "a procedure with no arguments" (paper §3.1).
+//
+// Descriptors store the critical-section lambda by value (the paper's
+// "[=]": captures must outlive the caller's stack frame because helpers may
+// run the thunk later). Small captures live inline in the descriptor; big
+// ones fall back to the heap so the library never silently truncates.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "config.hpp"
+
+namespace flock {
+
+class thunk {
+ public:
+  thunk() = default;
+  thunk(const thunk&) = delete;
+  thunk& operator=(const thunk&) = delete;
+  ~thunk() { clear(); }
+
+  template <class F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    clear();
+    if constexpr (sizeof(Fn) <= kThunkInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { return (*static_cast<Fn*>(p))(); };
+      destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+      target_ = buf_;
+    } else {
+      target_ = new Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { return (*static_cast<Fn*>(p))(); };
+      destroy_ = [](void* p) { delete static_cast<Fn*>(p); };
+    }
+  }
+
+  bool operator()() const { return invoke_(target_); }
+
+  bool empty() const { return invoke_ == nullptr; }
+
+  void clear() {
+    if (destroy_ != nullptr) destroy_(target_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+    target_ = nullptr;
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char buf_[kThunkInlineBytes];
+  bool (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  void* target_ = nullptr;
+};
+
+}  // namespace flock

@@ -1,0 +1,56 @@
+// write_once.hpp — update-once locations (paper §6 "Constants and
+// Update-once Locations").
+//
+// A write_once<T> has an initial value and is updated at most once. Reads
+// may happen before or after the update, so loads must still be logged
+// (different runs of a thunk must agree on which side of the update they
+// saw). But the store can be a plain write: all runs of the storing thunk
+// compute the same value (they are synchronized), and repeated writes of
+// one value to a location nothing else writes are idempotent. Update-once
+// locations are ABA-free by construction, so no tag is needed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "log.hpp"
+#include "tagged.hpp"
+
+namespace flock {
+
+template <class T>
+class write_once {
+ public:
+  write_once() : word_(0) {}
+  explicit write_once(T v) : word_(to_bits48(v)) {}
+  write_once(const write_once&) = delete;
+  write_once& operator=(const write_once&) = delete;
+
+  void init(T v) { word_.store(to_bits48(v), std::memory_order_relaxed); }
+
+  /// Idempotent (logged) load.
+  T load() const {
+    uint64_t b = word_.load(std::memory_order_acquire);
+    if (in_thunk()) b = commit64(b);
+    return from_bits48<T>(b);
+  }
+
+  /// The single allowed update; a plain release write (§6).
+  void store(T v) {
+    word_.store(to_bits48(v), std::memory_order_release);
+  }
+
+  write_once& operator=(T v) {
+    store(v);
+    return *this;
+  }
+
+  T read_raw() const {
+    return from_bits48<T>(word_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::atomic<uint64_t> word_;
+};
+
+}  // namespace flock

@@ -1,0 +1,121 @@
+// driver.hpp — the timed mixed-operation throughput driver reproducing
+// the paper's §8 methodology: prefill the structure with half the keys in
+// [1, r], then run T threads for a fixed wall-clock window, each drawing
+// zipfian keys and performing `update%` updates (split evenly between
+// inserts and deletes) and the rest lookups. Reports Mop/s.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "flock/flock.hpp"
+#include "zipf.hpp"
+
+namespace flock_workload {
+
+struct run_config {
+  int threads = 4;
+  double update_percent = 50;  // evenly split insert/delete
+  int millis = 200;            // timed window
+  uint64_t seed = 12345;
+};
+
+struct run_result {
+  double mops = 0;           // million operations per second
+  uint64_t total_ops = 0;
+  uint64_t finds = 0, inserts = 0, removes = 0;
+  uint64_t successful_updates = 0;
+  double seconds = 0;
+};
+
+/// Prefill with ~half the keys of [1, range] using all hardware threads
+/// (the half is the deterministic subset hash(k)&1, so verification code
+/// can recompute membership).
+template <class Set>
+void prefill_half(Set& set, uint64_t range, int threads = 0) {
+  if (threads <= 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; t++) {
+    ts.emplace_back([&, t] {
+      for (uint64_t k = 1 + static_cast<uint64_t>(t); k <= range;
+           k += static_cast<uint64_t>(threads)) {
+        if (splitmix64(k) & 1) set.insert(k, k);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+}
+
+/// Run the §8 mixed workload against any set adapter.
+template <class Set>
+run_result run_mixed(Set& set, const zipf_distribution& dist,
+                     const run_config& cfg) {
+  struct alignas(64) counters {
+    uint64_t ops = 0, finds = 0, ins = 0, rem = 0, upd_ok = 0;
+  };
+  std::vector<counters> per_thread(static_cast<size_t>(cfg.threads));
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+
+  auto worker = [&](int tid) {
+    rng64 rng(cfg.seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(tid) + 1);
+    counters& c = per_thread[static_cast<size_t>(tid)];
+    const uint64_t upd_threshold =
+        static_cast<uint64_t>(cfg.update_percent * 0.01 * 4294967296.0);
+    ready.fetch_add(1);
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 64; i++) {
+        uint64_t k = dist.sample(rng);
+        uint64_t r = rng.next();
+        if ((r & 0xFFFFFFFFu) < upd_threshold) {
+          if (r >> 63) {
+            c.ins++;
+            if (set.insert(k, k)) c.upd_ok++;
+          } else {
+            c.rem++;
+            if (set.remove(k)) c.upd_ok++;
+          }
+        } else {
+          c.finds++;
+          set.find(k);
+        }
+        c.ops++;
+      }
+    }
+  };
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < cfg.threads; t++) ts.emplace_back(worker, t);
+  while (ready.load() < cfg.threads) {
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.millis));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : ts) th.join();
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+  run_result res;
+  res.seconds = secs;
+  for (auto& c : per_thread) {
+    res.total_ops += c.ops;
+    res.finds += c.finds;
+    res.inserts += c.ins;
+    res.removes += c.rem;
+    res.successful_updates += c.upd_ok;
+  }
+  res.mops = static_cast<double>(res.total_ops) / secs / 1e6;
+  return res;
+}
+
+}  // namespace flock_workload

@@ -1,0 +1,88 @@
+// set_adapter.hpp — a uniform Set facade over every data structure in the
+// repo so tests and benchmarks are written once. Adapters expose
+//   bool insert(uint64_t k, uint64_t v); bool remove(uint64_t k);
+//   std::optional<uint64_t> find(uint64_t k);
+//   size_t size(); bool check_invariants();
+//
+// The arttree adapter additionally hashes keys (paper §8: "we sparsify
+// the key range by hashing each key... This does not affect the other
+// data structures since they either are purely comparison based or hash
+// the keys themselves").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "baselines/ellen_bst.hpp"
+#include "baselines/harris_list.hpp"
+#include "baselines/natarajan_bst.hpp"
+#include "ds/abtree.hpp"
+#include "ds/arttree.hpp"
+#include "ds/dlist.hpp"
+#include "ds/hashtable.hpp"
+#include "ds/lazylist.hpp"
+#include "ds/leaftree.hpp"
+#include "ds/leaftreap.hpp"
+#include "zipf.hpp"
+
+namespace flock_workload {
+
+using key_t64 = uint64_t;
+
+/// Direct pass-through adapter.
+template <class DS>
+class set_adapter {
+ public:
+  template <class... Args>
+  explicit set_adapter(Args&&... args) : ds_(std::forward<Args>(args)...) {}
+
+  bool insert(uint64_t k, uint64_t v) { return ds_.insert(k, v); }
+  bool remove(uint64_t k) { return ds_.remove(k); }
+  std::optional<uint64_t> find(uint64_t k) { return ds_.find(k); }
+  std::size_t size() const { return ds_.size(); }
+  bool check_invariants() const { return ds_.check_invariants(); }
+  DS& underlying() { return ds_; }
+
+ private:
+  DS ds_;
+};
+
+/// ART adapter: sparsifies keys by hashing (bijective enough for the
+/// benchmark ranges; collisions over 64 bits are negligible — splitmix64
+/// is in fact a bijection on 64-bit values).
+template <class DS>
+class hashed_adapter {
+ public:
+  template <class... Args>
+  explicit hashed_adapter(Args&&... args) : ds_(std::forward<Args>(args)...) {}
+
+  bool insert(uint64_t k, uint64_t v) { return ds_.insert(splitmix64(k), v); }
+  bool remove(uint64_t k) { return ds_.remove(splitmix64(k)); }
+  std::optional<uint64_t> find(uint64_t k) { return ds_.find(splitmix64(k)); }
+  std::size_t size() const { return ds_.size(); }
+  bool check_invariants() const { return ds_.check_invariants(); }
+  DS& underlying() { return ds_; }
+
+ private:
+  DS ds_;
+};
+
+// Canonical instantiations used by tests and benchmarks. ---------------
+using lazylist_try = set_adapter<flock_ds::lazylist<uint64_t, uint64_t, false>>;
+using lazylist_strict = set_adapter<flock_ds::lazylist<uint64_t, uint64_t, true>>;
+using dlist_try = set_adapter<flock_ds::dlist<uint64_t, uint64_t, false>>;
+using dlist_strict = set_adapter<flock_ds::dlist<uint64_t, uint64_t, true>>;
+using hashtable_try = set_adapter<flock_ds::hashtable<uint64_t, uint64_t, false>>;
+using leaftree_try = set_adapter<flock_ds::leaftree<uint64_t, uint64_t, false>>;
+using leaftree_strict = set_adapter<flock_ds::leaftree<uint64_t, uint64_t, true>>;
+using leaftreap_try = set_adapter<flock_ds::leaftreap<uint64_t, uint64_t, false>>;
+using abtree_try = set_adapter<flock_ds::abtree<uint64_t, uint64_t, false>>;
+using abtree_strict = set_adapter<flock_ds::abtree<uint64_t, uint64_t, true>>;
+using arttree_try = hashed_adapter<flock_ds::arttree<uint64_t, false>>;
+using harris = set_adapter<flock_baselines::harris_list<uint64_t, uint64_t>>;
+using harris_opt =
+    set_adapter<flock_baselines::harris_list_opt<uint64_t, uint64_t>>;
+using natarajan = set_adapter<flock_baselines::natarajan_bst<uint64_t, uint64_t>>;
+using ellen = set_adapter<flock_baselines::ellen_bst<uint64_t, uint64_t>>;
+
+}  // namespace flock_workload

@@ -1,0 +1,210 @@
+// set_test_util.hpp — shared oracle/stress/invariant machinery for every
+// set data structure (Flock structures and baselines alike).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "flock/flock.hpp"
+
+namespace set_test {
+
+/// Random single-threaded op sequence checked against std::map.
+template <class Set>
+void sequential_oracle(Set& s, uint64_t key_range, int ops, uint64_t seed) {
+  std::map<uint64_t, uint64_t> oracle;
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < ops; i++) {
+    uint64_t k = rng() % key_range + 1;
+    switch (rng() % 3) {
+      case 0: {
+        bool expect = oracle.emplace(k, k * 3).second;
+        ASSERT_EQ(s.insert(k, k * 3), expect) << "insert " << k << " op " << i;
+        break;
+      }
+      case 1: {
+        bool expect = oracle.erase(k) > 0;
+        ASSERT_EQ(s.remove(k), expect) << "remove " << k << " op " << i;
+        break;
+      }
+      default: {
+        auto it = oracle.find(k);
+        auto got = s.find(k);
+        if (it == oracle.end()) {
+          ASSERT_FALSE(got.has_value()) << "find " << k << " op " << i;
+        } else {
+          ASSERT_TRUE(got.has_value()) << "find " << k << " op " << i;
+          ASSERT_EQ(*got, it->second) << "find " << k << " op " << i;
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(s.size(), oracle.size());
+  ASSERT_TRUE(s.check_invariants());
+  // Full membership sweep.
+  for (uint64_t k = 1; k <= key_range; k++) {
+    auto got = s.find(k);
+    auto it = oracle.find(k);
+    ASSERT_EQ(got.has_value(), it != oracle.end()) << "sweep " << k;
+  }
+}
+
+/// Concurrent mixed stress; afterwards audits invariants and exact
+/// membership via per-key success accounting: every thread tracks the net
+/// effect of its *successful* inserts/removes per key; the final
+/// membership must equal prefill xor net-updates.
+template <class Set>
+void concurrent_stress(Set& s, int threads, uint64_t key_range,
+                       int ops_per_thread, int update_percent,
+                       uint64_t seed = 99) {
+  // Prefill even keys.
+  std::vector<int> net(key_range + 1, 0);  // +1 insert, -1 remove (net)
+  for (uint64_t k = 2; k <= key_range; k += 2) {
+    ASSERT_TRUE(s.insert(k, k));
+    net[k] = 1;
+  }
+  std::vector<std::vector<int>> deltas(
+      static_cast<size_t>(threads),
+      std::vector<int>(key_range + 1, 0));
+  std::atomic<bool> go{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; t++) {
+    ts.emplace_back([&, t] {
+      std::mt19937_64 rng(seed + static_cast<uint64_t>(t) * 7919);
+      auto& mine = deltas[static_cast<size_t>(t)];
+      while (!go.load()) {
+      }
+      for (int i = 0; i < ops_per_thread; i++) {
+        uint64_t k = rng() % key_range + 1;
+        int which = static_cast<int>(rng() % 100);
+        if (which < update_percent / 2) {
+          if (s.insert(k, k)) mine[k]++;
+        } else if (which < update_percent) {
+          if (s.remove(k)) mine[k]--;
+        } else {
+          auto v = s.find(k);
+          if (v.has_value()) ASSERT_EQ(*v, k);
+        }
+      }
+    });
+  }
+  go.store(true);
+  for (auto& t : ts) t.join();
+
+  ASSERT_TRUE(s.check_invariants());
+  std::size_t expected_size = 0;
+  for (uint64_t k = 1; k <= key_range; k++) {
+    int present = (net[k] != 0) ? 1 : 0;
+    for (int t = 0; t < threads; t++)
+      present += deltas[static_cast<size_t>(t)][k];
+    ASSERT_TRUE(present == 0 || present == 1)
+        << "key " << k << " net " << present
+        << " (a successful insert/remove must alternate)";
+    ASSERT_EQ(s.find(k).has_value(), present == 1) << "key " << k;
+    expected_size += static_cast<std::size_t>(present);
+  }
+  ASSERT_EQ(s.size(), expected_size);
+}
+
+/// Disjoint-range parallel inserts then removes: deterministic totals.
+template <class Set>
+void disjoint_ranges(Set& s, int threads, uint64_t keys_per_thread) {
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; t++) {
+    ts.emplace_back([&, t] {
+      uint64_t base = static_cast<uint64_t>(t) * keys_per_thread;
+      for (uint64_t i = 1; i <= keys_per_thread; i++) {
+        ASSERT_TRUE(s.insert(base + i, base + i));
+        ASSERT_FALSE(s.insert(base + i, base + i));  // duplicate
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  ASSERT_EQ(s.size(),
+            static_cast<std::size_t>(threads) * keys_per_thread);
+  ASSERT_TRUE(s.check_invariants());
+  ts.clear();
+  for (int t = 0; t < threads; t++) {
+    ts.emplace_back([&, t] {
+      uint64_t base = static_cast<uint64_t>(t) * keys_per_thread;
+      for (uint64_t i = 1; i <= keys_per_thread; i++) {
+        ASSERT_TRUE(s.remove(base + i));
+        ASSERT_FALSE(s.remove(base + i));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  ASSERT_EQ(s.size(), 0u);
+  ASSERT_TRUE(s.check_invariants());
+}
+
+/// Contended single-key hammering: all threads fight over few keys.
+template <class Set>
+void high_contention(Set& s, int threads, int ops_per_thread,
+                     uint64_t hot_keys = 4) {
+  std::atomic<long long> balance{0};  // successful inserts - removes
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; t++) {
+    ts.emplace_back([&, t] {
+      std::mt19937_64 rng(static_cast<uint64_t>(t) * 31 + 7);
+      long long mine = 0;
+      for (int i = 0; i < ops_per_thread; i++) {
+        uint64_t k = rng() % hot_keys + 1;
+        if (rng() & 1) {
+          if (s.insert(k, k)) mine++;
+        } else {
+          if (s.remove(k)) mine--;
+        }
+      }
+      balance.fetch_add(mine);
+    });
+  }
+  for (auto& t : ts) t.join();
+  ASSERT_TRUE(s.check_invariants());
+  ASSERT_EQ(static_cast<long long>(s.size()), balance.load());
+}
+
+/// Run a full battery under the current lock mode.
+template <class Set>
+void battery(int scale = 1) {
+  {
+    Set s;
+    sequential_oracle(s, 128, 4000 * scale, 1);
+  }
+  {
+    Set s;
+    sequential_oracle(s, 4096, 8000 * scale, 2);
+  }
+  {
+    Set s;
+    concurrent_stress(s, 8, 512, 6000 * scale, 60);
+  }
+  {
+    Set s;
+    disjoint_ranges(s, 8, 300);
+  }
+  {
+    Set s;
+    high_contention(s, 8, 4000 * scale);
+  }
+  flock::epoch_manager::instance().flush();
+}
+
+/// Oversubscribed battery: more threads than cores, small key range.
+template <class Set>
+void oversubscribed(int mult = 2) {
+  Set s;
+  int threads = mult * static_cast<int>(std::thread::hardware_concurrency());
+  concurrent_stress(s, threads, 64, 1500, 80);
+  flock::epoch_manager::instance().flush();
+}
+
+}  // namespace set_test

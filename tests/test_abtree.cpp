@@ -1,0 +1,82 @@
+// abtree ((a,b)-tree): oracle, stress, and structural tests. The
+// invariant checker verifies occupancy bounds, key ordering, range
+// containment, and uniform leaf depth.
+#include "set_test_util.hpp"
+#include "workload/set_adapter.hpp"
+
+namespace {
+
+class AbtreeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { flock::set_blocking(GetParam()); }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+TEST_P(AbtreeTest, BatteryTryLock) {
+  set_test::battery<flock_workload::abtree_try>();
+}
+
+TEST_P(AbtreeTest, BatteryStrictLock) {
+  set_test::battery<flock_workload::abtree_strict>();
+}
+
+TEST_P(AbtreeTest, Oversubscribed) {
+  set_test::oversubscribed<flock_workload::abtree_try>();
+}
+
+TEST_P(AbtreeTest, MonotoneFillForcesSplits) {
+  flock_workload::abtree_try s;
+  for (uint64_t k = 1; k <= 5000; k++) {
+    ASSERT_TRUE(s.insert(k, k * 2));
+    if (k % 1000 == 0) ASSERT_TRUE(s.check_invariants()) << "at " << k;
+  }
+  EXPECT_EQ(s.size(), 5000u);
+  for (uint64_t k = 1; k <= 5000; k++) ASSERT_EQ(*s.find(k), k * 2);
+}
+
+TEST_P(AbtreeTest, DrainForcesMergesAndRootCollapse) {
+  flock_workload::abtree_try s;
+  for (uint64_t k = 1; k <= 5000; k++) s.insert(k, k);
+  // Remove in an order that exercises both borrow directions.
+  for (uint64_t k = 1; k <= 5000; k += 2) ASSERT_TRUE(s.remove(k));
+  ASSERT_TRUE(s.check_invariants());
+  for (uint64_t k = 5000; k >= 2; k -= 2) ASSERT_TRUE(s.remove(k));
+  EXPECT_EQ(s.size(), 0u);
+  ASSERT_TRUE(s.check_invariants());
+  // Tree usable after complete drain.
+  EXPECT_TRUE(s.insert(42, 42));
+  EXPECT_EQ(*s.find(42), 42u);
+}
+
+TEST_P(AbtreeTest, RandomizedStructuralAudit) {
+  flock_workload::abtree_try s;
+  std::mt19937_64 rng(5);
+  std::set<uint64_t> oracle;
+  for (int i = 0; i < 30000; i++) {
+    uint64_t k = rng() % 2000 + 1;
+    if (rng() & 1) {
+      ASSERT_EQ(s.insert(k, k), oracle.insert(k).second);
+    } else {
+      ASSERT_EQ(s.remove(k), oracle.erase(k) > 0);
+    }
+    if (i % 5000 == 0) ASSERT_TRUE(s.check_invariants()) << "op " << i;
+  }
+  ASSERT_TRUE(s.check_invariants());
+  ASSERT_EQ(s.size(), oracle.size());
+}
+
+TEST_P(AbtreeTest, ConcurrentStructuralChanges) {
+  // Small key range + high update rate: constant splits and merges.
+  flock_workload::abtree_try s;
+  set_test::concurrent_stress(s, 8, 128, 8000, 90);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AbtreeTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "blocking" : "lockfree";
+                         });
+
+}  // namespace

@@ -1,0 +1,117 @@
+// arttree (adaptive radix tree): oracle, stress, node-growth and radix
+// structure tests. The adapter hashes keys (as in §8); the raw tests
+// below use crafted keys to hit specific node-type transitions.
+#include "set_test_util.hpp"
+#include "workload/set_adapter.hpp"
+
+namespace {
+
+class ArttreeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { flock::set_blocking(GetParam()); }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+TEST_P(ArttreeTest, Battery) {
+  set_test::battery<flock_workload::arttree_try>();
+}
+
+TEST_P(ArttreeTest, Oversubscribed) {
+  set_test::oversubscribed<flock_workload::arttree_try>();
+}
+
+// Raw (unhashed) tree for structure-targeted tests.
+using raw_art = flock_ds::arttree<uint64_t, false>;
+
+TEST_P(ArttreeTest, GrowsThroughAllNodeTypes) {
+  raw_art t;
+  // Keys sharing the first 7 bytes, varying the last: one node must grow
+  // N4 -> N16 -> N48 -> N256.
+  const uint64_t base = 0x1122334455667700ULL;
+  for (uint64_t b = 0; b < 256; b++)
+    ASSERT_TRUE(t.insert(base | b, b)) << b;
+  EXPECT_EQ(t.size(), 256u);
+  EXPECT_TRUE(t.check_invariants());
+  for (uint64_t b = 0; b < 256; b++) ASSERT_EQ(*t.find(base | b), b);
+  for (uint64_t b = 0; b < 256; b += 2) ASSERT_TRUE(t.remove(base | b));
+  EXPECT_EQ(t.size(), 128u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST_P(ArttreeTest, SharedPrefixChains) {
+  raw_art t;
+  // Pairs of keys differing only in the last byte: leaf split must build
+  // a chain of Node4s down to depth 7.
+  ASSERT_TRUE(t.insert(0xAAAAAAAAAAAAAA01ULL, 1));
+  ASSERT_TRUE(t.insert(0xAAAAAAAAAAAAAA02ULL, 2));
+  EXPECT_EQ(*t.find(0xAAAAAAAAAAAAAA01ULL), 1u);
+  EXPECT_EQ(*t.find(0xAAAAAAAAAAAAAA02ULL), 2u);
+  EXPECT_FALSE(t.find(0xAAAAAAAAAAAAAA03ULL).has_value());
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST_P(ArttreeTest, TombstoneRevive) {
+  raw_art t;
+  ASSERT_TRUE(t.insert(0x0102030405060708ULL, 7));
+  ASSERT_TRUE(t.insert(0x0102030405060709ULL, 8));  // forces a fork
+  ASSERT_TRUE(t.remove(0x0102030405060708ULL));     // tombstones the slot
+  EXPECT_FALSE(t.find(0x0102030405060708ULL).has_value());
+  ASSERT_TRUE(t.insert(0x0102030405060708ULL, 9));  // revives the slot
+  EXPECT_EQ(*t.find(0x0102030405060708ULL), 9u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST_P(ArttreeTest, LazyExpansionSingleKeyShallow) {
+  raw_art t;
+  ASSERT_TRUE(t.insert(0xDEADBEEF00000001ULL, 5));
+  // A lone key is a leaf directly under the root (lazy expansion).
+  EXPECT_EQ(t.size(), 1u);
+  ASSERT_TRUE(t.remove(0xDEADBEEF00000001ULL));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST_P(ArttreeTest, DuplicateAndMissing) {
+  raw_art t;
+  EXPECT_TRUE(t.insert(1, 1));
+  EXPECT_FALSE(t.insert(1, 2));
+  EXPECT_EQ(*t.find(1), 1u);
+  EXPECT_FALSE(t.remove(2));
+  EXPECT_TRUE(t.remove(1));
+  EXPECT_FALSE(t.remove(1));
+}
+
+TEST_P(ArttreeTest, ConcurrentGrowthContention) {
+  // All threads insert into the same growing node region.
+  raw_art t;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  std::atomic<long long> inserted{0};
+  for (int th = 0; th < kThreads; th++) {
+    ts.emplace_back([&, th] {
+      std::mt19937_64 rng(th);
+      long long mine = 0;
+      for (int i = 0; i < 5000; i++) {
+        uint64_t k = 0x4242424242420000ULL | (rng() % 512);
+        if (rng() & 1) {
+          if (t.insert(k, k)) mine++;
+        } else {
+          if (t.remove(k)) mine--;
+        }
+      }
+      inserted.fetch_add(mine);
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(static_cast<long long>(t.size()), inserted.load());
+  EXPECT_TRUE(t.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ArttreeTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "blocking" : "lockfree";
+                         });
+
+}  // namespace

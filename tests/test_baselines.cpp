@@ -1,0 +1,61 @@
+// Baselines (Harris lists, Natarajan BST, Ellen BST): the same oracle and
+// stress battery as the Flock structures. These are lock-free CAS-based
+// algorithms, so the lock-mode flag is irrelevant; run once.
+#include "set_test_util.hpp"
+#include "workload/set_adapter.hpp"
+
+namespace {
+
+template <class T>
+class BaselineTest : public ::testing::Test {};
+
+using baseline_types =
+    ::testing::Types<flock_workload::harris, flock_workload::harris_opt,
+                     flock_workload::natarajan, flock_workload::ellen>;
+
+TYPED_TEST_SUITE(BaselineTest, baseline_types);
+
+TYPED_TEST(BaselineTest, SequentialOracleSmall) {
+  TypeParam s;
+  set_test::sequential_oracle(s, 128, 4000, 21);
+}
+
+TYPED_TEST(BaselineTest, SequentialOracleWide) {
+  TypeParam s;
+  set_test::sequential_oracle(s, 4096, 8000, 22);
+}
+
+TYPED_TEST(BaselineTest, ConcurrentStress) {
+  TypeParam s;
+  set_test::concurrent_stress(s, 8, 512, 6000, 60);
+  flock::epoch_manager::instance().flush();
+}
+
+TYPED_TEST(BaselineTest, DisjointRanges) {
+  TypeParam s;
+  set_test::disjoint_ranges(s, 8, 300);
+}
+
+TYPED_TEST(BaselineTest, HighContention) {
+  TypeParam s;
+  set_test::high_contention(s, 8, 4000);
+  flock::epoch_manager::instance().flush();
+}
+
+TYPED_TEST(BaselineTest, Oversubscribed) {
+  set_test::oversubscribed<TypeParam>();
+}
+
+TYPED_TEST(BaselineTest, EmptyAndSingleton) {
+  TypeParam s;
+  EXPECT_FALSE(s.find(5).has_value());
+  EXPECT_FALSE(s.remove(5));
+  EXPECT_TRUE(s.insert(5, 50));
+  EXPECT_FALSE(s.insert(5, 51));
+  EXPECT_EQ(*s.find(5), 50u);
+  EXPECT_TRUE(s.remove(5));
+  EXPECT_FALSE(s.remove(5));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+}  // namespace

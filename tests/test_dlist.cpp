@@ -1,0 +1,60 @@
+// dlist (Algorithm 1): oracle, stress, and doubly-linked specifics
+// (back-pointer integrity is part of check_invariants).
+#include "set_test_util.hpp"
+#include "workload/set_adapter.hpp"
+
+namespace {
+
+class DlistTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { flock::set_blocking(GetParam()); }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+TEST_P(DlistTest, BatteryTryLock) {
+  set_test::battery<flock_workload::dlist_try>();
+}
+
+TEST_P(DlistTest, BatteryStrictLock) {
+  set_test::battery<flock_workload::dlist_strict>();
+}
+
+TEST_P(DlistTest, Oversubscribed) {
+  set_test::oversubscribed<flock_workload::dlist_try>();
+}
+
+TEST_P(DlistTest, BackPointersAfterChurn) {
+  flock_workload::dlist_try s;
+  // Interleave inserts and removes to exercise prev-pointer fixups.
+  for (uint64_t k = 1; k <= 200; k++) s.insert(k, k);
+  for (uint64_t k = 1; k <= 200; k += 2) s.remove(k);
+  for (uint64_t k = 1; k <= 200; k += 4) s.insert(k, k);
+  EXPECT_TRUE(s.check_invariants());  // includes prev == predecessor
+}
+
+TEST_P(DlistTest, SingleElementEdgeCases) {
+  flock_workload::dlist_try s;
+  EXPECT_FALSE(s.remove(7));
+  EXPECT_TRUE(s.insert(7, 70));
+  EXPECT_EQ(*s.find(7), 70u);
+  EXPECT_TRUE(s.remove(7));
+  EXPECT_FALSE(s.find(7).has_value());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST_P(DlistTest, ConcurrentNeighborsContention) {
+  // Adjacent keys force contention on the same prev locks.
+  flock_workload::dlist_try s;
+  set_test::concurrent_stress(s, 8, 16, 5000, 90);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DlistTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "blocking" : "lockfree";
+                         });
+
+}  // namespace

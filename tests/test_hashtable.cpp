@@ -1,0 +1,51 @@
+// hashtable: oracle, stress, and chaining-specific tests.
+#include "set_test_util.hpp"
+#include "workload/set_adapter.hpp"
+
+namespace {
+
+class HashtableTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { flock::set_blocking(GetParam()); }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+TEST_P(HashtableTest, Battery) {
+  set_test::battery<flock_workload::hashtable_try>();
+}
+
+TEST_P(HashtableTest, Oversubscribed) {
+  set_test::oversubscribed<flock_workload::hashtable_try>();
+}
+
+TEST_P(HashtableTest, TinyTableLongChains) {
+  // 64 buckets (the minimum) with 4k keys: long chains, heavy per-chain
+  // lock contention.
+  using ht = flock_ds::hashtable<uint64_t, uint64_t, false>;
+  flock_workload::set_adapter<ht> s(std::size_t{1});
+  EXPECT_EQ(s.underlying().bucket_count(), 64u);
+  set_test::sequential_oracle(s, 4096, 20000, 3);
+}
+
+TEST_P(HashtableTest, ChainsStaySorted) {
+  flock_workload::hashtable_try s;
+  for (uint64_t k = 1; k <= 5000; k++) s.insert(k, k);
+  EXPECT_TRUE(s.check_invariants());
+  EXPECT_EQ(s.size(), 5000u);
+}
+
+TEST_P(HashtableTest, StrictLockVariant) {
+  using ht = flock_ds::hashtable<uint64_t, uint64_t, true>;
+  flock_workload::set_adapter<ht> s(std::size_t{256});
+  set_test::concurrent_stress(s, 8, 300, 5000, 70);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, HashtableTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "blocking" : "lockfree";
+                         });
+
+}  // namespace

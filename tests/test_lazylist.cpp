@@ -1,0 +1,71 @@
+// lazylist: oracle, stress, and list-specific tests across
+// {blocking, lock-free} x {try, strict}.
+#include "set_test_util.hpp"
+#include "workload/set_adapter.hpp"
+
+namespace {
+
+class LazylistTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { flock::set_blocking(GetParam()); }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+TEST_P(LazylistTest, BatteryTryLock) {
+  set_test::battery<flock_workload::lazylist_try>();
+}
+
+TEST_P(LazylistTest, BatteryStrictLock) {
+  set_test::battery<flock_workload::lazylist_strict>();
+}
+
+TEST_P(LazylistTest, Oversubscribed) {
+  set_test::oversubscribed<flock_workload::lazylist_try>();
+}
+
+TEST_P(LazylistTest, SortedTraversal) {
+  flock_workload::lazylist_try s;
+  for (uint64_t k : {5u, 1u, 9u, 3u, 7u}) EXPECT_TRUE(s.insert(k, k * 10));
+  uint64_t prev = 0;
+  std::size_t n = 0;
+  s.underlying().for_each([&](uint64_t k, uint64_t v) {
+    EXPECT_GT(k, prev);
+    EXPECT_EQ(v, k * 10);
+    prev = k;
+    n++;
+  });
+  EXPECT_EQ(n, 5u);
+}
+
+TEST_P(LazylistTest, RemoveHeadMiddleTail) {
+  flock_workload::lazylist_try s;
+  for (uint64_t k = 1; k <= 10; k++) s.insert(k, k);
+  EXPECT_TRUE(s.remove(1));   // head
+  EXPECT_TRUE(s.remove(5));   // middle
+  EXPECT_TRUE(s.remove(10));  // tail
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_FALSE(s.find(1).has_value());
+  EXPECT_FALSE(s.find(5).has_value());
+  EXPECT_FALSE(s.find(10).has_value());
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST_P(LazylistTest, NodePoolBalancedAfterChurn) {
+  flock::epoch_manager::instance().flush();
+  {
+    flock_workload::lazylist_try s;
+    set_test::high_contention(s, 4, 3000);
+  }  // destructor frees the remainder
+  flock::epoch_manager::instance().flush();
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, LazylistTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "blocking" : "lockfree";
+                         });
+
+}  // namespace

@@ -1,0 +1,62 @@
+// leaftreap (fat-leaf external tree): oracle, stress, batch-specific.
+#include "set_test_util.hpp"
+#include "workload/set_adapter.hpp"
+
+namespace {
+
+class LeaftreapTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { flock::set_blocking(GetParam()); }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+TEST_P(LeaftreapTest, Battery) {
+  set_test::battery<flock_workload::leaftreap_try>();
+}
+
+TEST_P(LeaftreapTest, Oversubscribed) {
+  set_test::oversubscribed<flock_workload::leaftreap_try>();
+}
+
+TEST_P(LeaftreapTest, BatchSplitsAndDrains) {
+  flock_workload::leaftreap_try s;
+  // Fill well past one batch: forces splits; invariants check batch
+  // occupancy [1, B] and sortedness.
+  for (uint64_t k = 1; k <= 1000; k++) EXPECT_TRUE(s.insert(k, k + 7));
+  EXPECT_TRUE(s.check_invariants());
+  EXPECT_EQ(s.size(), 1000u);
+  for (uint64_t k = 1; k <= 1000; k++) EXPECT_EQ(*s.find(k), k + 7);
+  // Drain: exercises batch shrink and single-pair splice.
+  for (uint64_t k = 1; k <= 1000; k++) EXPECT_TRUE(s.remove(k));
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST_P(LeaftreapTest, SmallBatchTemplateParam) {
+  // B = 2: every other insert splits; stresses structural paths.
+  using treap2 = flock_ds::leaftreap<uint64_t, uint64_t, false, 2>;
+  flock_workload::set_adapter<treap2> s;
+  set_test::sequential_oracle(s, 512, 8000, 11);
+}
+
+TEST_P(LeaftreapTest, StrictVariantStress) {
+  using treap_strict = flock_ds::leaftreap<uint64_t, uint64_t, true>;
+  flock_workload::set_adapter<treap_strict> s;
+  set_test::concurrent_stress(s, 8, 256, 5000, 60);
+}
+
+TEST_P(LeaftreapTest, HotBatchContention) {
+  // All threads hammer keys that live in the same few batches.
+  flock_workload::leaftreap_try s;
+  set_test::high_contention(s, 8, 5000, 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, LeaftreapTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "blocking" : "lockfree";
+                         });
+
+}  // namespace

@@ -1,0 +1,348 @@
+// Tests for try_lock / strict_lock semantics (Algorithm 3) in both
+// blocking and lock-free modes: mutual exclusion, helping, nesting,
+// descriptor lifecycle, early unlock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "flock/flock.hpp"
+
+namespace {
+
+class LockModes : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { flock::set_blocking(GetParam()); }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+TEST_P(LockModes, TryLockRunsThunkAndReturnsItsValue) {
+  flock::lock l;
+  int side_effect = 0;
+  bool ok = flock::with_epoch([&] {
+    return flock::try_lock(l, [&side_effect] {
+      side_effect = 1;
+      return true;
+    });
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(side_effect, 1);
+  EXPECT_FALSE(l.is_locked());
+
+  bool ok2 = flock::with_epoch(
+      [&] { return flock::try_lock(l, [] { return false; }); });
+  EXPECT_FALSE(ok2);  // thunk ran but returned false
+  EXPECT_FALSE(l.is_locked());
+}
+
+TEST_P(LockModes, MutualExclusionCounter) {
+  flock::lock l;
+  auto* counter = flock::pool_new<flock::mutable_<uint64_t>>();
+  counter->init(0);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> ts;
+  std::atomic<long long> successes{0};
+  for (int t = 0; t < kThreads; t++) {
+    ts.emplace_back([&] {
+      long long mine = 0;
+      for (int i = 0; i < kPerThread; i++) {
+        bool ok = flock::with_epoch([&] {
+          return flock::try_lock(l, [counter] {
+            counter->store(counter->load() + 1);
+            return true;
+          });
+        });
+        if (ok) mine++;
+      }
+      successes.fetch_add(mine);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter->read_raw(), static_cast<uint64_t>(successes.load()));
+  EXPECT_GT(successes.load(), 0);
+  flock::pool_delete(counter);
+}
+
+TEST_P(LockModes, StrictLockAlwaysSucceeds) {
+  flock::lock l;
+  auto* counter = flock::pool_new<flock::mutable_<uint64_t>>();
+  counter->init(0);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; t++) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kPerThread; i++) {
+        bool ok = flock::with_epoch([&] {
+          return flock::strict_lock(l, [counter] {
+            counter->store(counter->load() + 1);
+            return true;
+          });
+        });
+        ASSERT_TRUE(ok);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter->read_raw(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  flock::pool_delete(counter);
+}
+
+TEST_P(LockModes, NestedLocksBothApply) {
+  flock::lock outer, inner;
+  auto* a = flock::pool_new<flock::mutable_<uint64_t>>();
+  auto* b = flock::pool_new<flock::mutable_<uint64_t>>();
+  a->init(0);
+  b->init(0);
+  bool ok = flock::with_epoch([&] {
+    return flock::try_lock(outer, [&outer, &inner, a, b] {
+      (void)outer;
+      a->store(a->load() + 1);
+      return flock::try_lock(inner, [a, b] {
+        b->store(b->load() + a->load());
+        return true;
+      });
+    });
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(a->read_raw(), 1u);
+  EXPECT_EQ(b->read_raw(), 1u);
+  flock::pool_delete(a);
+  flock::pool_delete(b);
+}
+
+TEST_P(LockModes, NestedMutualExclusionTwoAccounts) {
+  // Classic transfer test: invariant a+b constant under concurrent
+  // transfers with nested locks (lock a then b).
+  flock::lock la, lb;
+  auto* a = flock::pool_new<flock::mutable_<uint64_t>>();
+  auto* b = flock::pool_new<flock::mutable_<uint64_t>>();
+  a->init(1000);
+  b->init(1000);
+  constexpr int kThreads = 6;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; t++) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < 3000 && !stop.load(); i++) {
+        uint64_t amt = 1 + (i % 3);
+        flock::with_epoch([&] {
+          return flock::try_lock(la, [&lb, a, b, amt, t] {
+            (void)t;
+            return flock::try_lock(lb, [a, b, amt] {
+              uint64_t va = a->load(), vb = b->load();
+              if (va >= amt) {
+                a->store(va - amt);
+                b->store(vb + amt);
+              } else {
+                a->store(va + amt);
+                b->store(vb - amt);
+              }
+              return true;
+            });
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(a->read_raw() + b->read_raw(), 2000u);
+  flock::pool_delete(a);
+  flock::pool_delete(b);
+}
+
+TEST_P(LockModes, EarlyUnlockAllowsReacquire) {
+  flock::lock l;
+  bool inner_ok = false;
+  bool ok = flock::with_epoch([&] {
+    return flock::try_lock(l, [&l, &inner_ok] {
+      flock::unlock(l);  // hand-over-hand style early release
+      inner_ok = !l.is_locked();
+      return true;
+    });
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(inner_ok);
+  EXPECT_FALSE(l.is_locked());
+}
+
+TEST_P(LockModes, ThunkValueCapture) {
+  // Paper §6 "Capturing by Value": captured locals must survive helping.
+  flock::lock l;
+  auto* out = flock::pool_new<flock::mutable_<uint64_t>>();
+  out->init(0);
+  {
+    uint64_t local = 77;
+    flock::with_epoch([&] {
+      return flock::try_lock(l, [out, local] {
+        out->store(local);
+        return true;
+      });
+    });
+  }
+  EXPECT_EQ(out->read_raw(), 77u);
+  flock::pool_delete(out);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, LockModes, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "blocking" : "lockfree";
+                         });
+
+// ---------- lock-free specific: helping ----------
+
+TEST(LockHelping, HelperCompletesStalledOwner) {
+  flock::set_blocking(false);
+  flock::lock l;
+  auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+  x->init(0);
+
+  std::atomic<bool> owner_installed{false};
+  std::atomic<bool> owner_may_finish{false};
+
+  // Owner thread: acquires the lock, then stalls *inside* the thunk until
+  // released. In lock-free mode another thread must be able to finish the
+  // critical section and release the lock.
+  std::thread owner([&] {
+    flock::with_epoch([&] {
+      return flock::try_lock(l, [&, x] {
+        uint64_t v = x->load();
+        owner_installed.store(true);
+        while (!owner_may_finish.load()) {
+        }  // simulate a long stall mid-critical-section
+        x->store(v + 1);
+        return true;
+      });
+    });
+  });
+
+  while (!owner_installed.load()) {
+  }
+
+  // Helper: try_lock on the same lock; in lock-free mode this helps the
+  // stalled owner's thunk to completion (it re-runs it from the start,
+  // and is not blocked by the owner's spin because the helper's run of
+  // the thunk reads owner_may_finish only after we set it below).
+  owner_may_finish.store(true);
+  bool got_in = false;
+  for (int i = 0; i < 100000 && !got_in; i++) {
+    got_in = flock::with_epoch(
+        [&] { return flock::try_lock(l, [] { return true; }); });
+  }
+  EXPECT_TRUE(got_in);
+  owner.join();
+  EXPECT_EQ(x->read_raw(), 1u);  // critical section applied exactly once
+  flock::pool_delete(x);
+  flock::epoch_manager::instance().flush();
+}
+
+TEST(LockHelping, HelpedCriticalSectionAppliesOnce) {
+  // Many threads hammer one lock; every successful try_lock increments.
+  // Helping must never double-apply a thunk. High contention: small loop
+  // with no backoff maximizes helper overlap.
+  flock::set_blocking(false);
+  for (int round = 0; round < 20; round++) {
+    flock::lock l;
+    auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+    x->init(0);
+    std::atomic<long long> wins{0};
+    constexpr int kThreads = 8;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; t++) {
+      ts.emplace_back([&] {
+        long long mine = 0;
+        for (int i = 0; i < 500; i++) {
+          if (flock::with_epoch([&] {
+                return flock::try_lock(l, [x] {
+                  x->store(x->load() + 1);
+                  return true;
+                });
+              }))
+            mine++;
+        }
+        wins.fetch_add(mine);
+      });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(x->read_raw(), static_cast<uint64_t>(wins.load()))
+        << "round " << round;
+    flock::pool_delete(x);
+  }
+  flock::epoch_manager::instance().flush();
+}
+
+TEST(LockHelping, TryLockFailsFastWhenHeld) {
+  flock::set_blocking(false);
+  flock::lock l;
+  std::atomic<bool> in{false}, out{false};
+  std::thread holder([&] {
+    flock::with_epoch([&] {
+      return flock::try_lock(l, [&] {
+        in.store(true);
+        while (!out.load()) {
+        }
+        return true;
+      });
+    });
+  });
+  while (!in.load()) {
+  }
+  // The holder's thunk spins on `out`, so a helper would spin too —
+  // but try_lock on a held lock first helps *then* returns false. To keep
+  // the test deterministic, release before probing.
+  out.store(true);
+  holder.join();
+  bool ok = flock::with_epoch(
+      [&] { return flock::try_lock(l, [] { return true; }); });
+  EXPECT_TRUE(ok);
+}
+
+TEST(LockFree, DescriptorPoolBalanced) {
+  flock::set_blocking(false);
+  flock::epoch_manager::instance().flush();
+  long long before = flock::pool_outstanding<flock::descriptor>();
+  flock::lock l;
+  for (int i = 0; i < 10000; i++) {
+    flock::with_epoch([&] {
+      return flock::try_lock(l, [] { return true; });
+    });
+  }
+  flock::epoch_manager::instance().flush();
+  EXPECT_EQ(flock::pool_outstanding<flock::descriptor>(), before);
+}
+
+TEST(LockFree, OversubscribedProgress) {
+  // 4x hardware threads hammering one lock in lock-free mode: total work
+  // must complete (lock-freedom means no thread parks holding the lock).
+  flock::set_blocking(false);
+  flock::lock l;
+  auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+  x->init(0);
+  const int kThreads =
+      4 * static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; t++) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 200; i++) {
+        flock::with_epoch([&] {
+          return flock::strict_lock(l, [x] {
+            x->store(x->load() + 1);
+            return true;
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(x->read_raw(), static_cast<uint64_t>(kThreads) * 200);
+  flock::pool_delete(x);
+  flock::epoch_manager::instance().flush();
+}
+
+}  // namespace

@@ -1,0 +1,266 @@
+// Heavier lock stress: helping chains across ordered locks, allocation
+// and retirement inside critical sections, oversubscription, and mixed
+// try/strict usage. These tests are the integration layer between the
+// idempotence runtime and the data structures.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "flock/flock.hpp"
+
+namespace {
+
+class StressModes : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { flock::set_blocking(GetParam()); }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+// A bank of accounts with per-account locks; random transfers lock two
+// accounts in address order (simply nested, ordered — Theorem 4.2's
+// precondition). The total balance is invariant.
+TEST_P(StressModes, OrderedTwoLockTransfers) {
+  constexpr int kAccounts = 16;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  struct account {
+    flock::lock lck;
+    flock::mutable_<uint64_t> balance;
+  };
+  std::vector<account> bank(kAccounts);
+  for (auto& a : bank) a.balance.init(100);
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; t++) {
+    ts.emplace_back([&, t] {
+      std::mt19937_64 rng(t * 7919 + 13);
+      for (int i = 0; i < kOpsPerThread; i++) {
+        int x = static_cast<int>(rng() % kAccounts);
+        int y = static_cast<int>(rng() % kAccounts);
+        if (x == y) continue;
+        int lo = std::min(x, y), hi = std::max(x, y);
+        account* a = &bank[lo];
+        account* b = &bank[hi];
+        flock::with_epoch([&] {
+          return flock::try_lock(a->lck, [a, b] {
+            return flock::try_lock(b->lck, [a, b] {
+              uint64_t va = a->balance.load();
+              uint64_t vb = b->balance.load();
+              if (va > 0) {
+                a->balance.store(va - 1);
+                b->balance.store(vb + 1);
+              }
+              return true;
+            });
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  uint64_t total = 0;
+  for (auto& a : bank) total += a.balance.read_raw();
+  EXPECT_EQ(total, 100u * kAccounts);
+}
+
+// Allocation + retirement inside critical sections: a lock-protected
+// stack of pooled nodes. Push allocates, pop retires; final accounting
+// must balance exactly.
+TEST_P(StressModes, AllocateRetireInsideLocks) {
+  struct node {
+    uint64_t v;
+    flock::mutable_<node*> next;
+    explicit node(uint64_t x) : v(x) { next.init(nullptr); }
+  };
+  struct stack {
+    flock::lock lck;
+    flock::mutable_<node*> head;
+    flock::mutable_<uint64_t> size;
+  };
+  flock::epoch_manager::instance().flush();
+  long long before = flock::pool_outstanding<node>();
+
+  auto* s = flock::pool_new<stack>();
+  s->head.init(nullptr);
+  s->size.init(0);
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; t++) {
+    ts.emplace_back([&, t] {
+      std::mt19937_64 rng(t);
+      for (int i = 0; i < 3000; i++) {
+        bool push = (rng() & 1) != 0;
+        flock::with_epoch([&] {
+          return flock::try_lock(s->lck, [s, push, i] {
+            if (push) {
+              node* n = flock::allocate<node>(i);
+              n->next = s->head.load();
+              s->head = n;
+              s->size.store(s->size.load() + 1);
+            } else {
+              node* h = s->head.load();
+              if (h != nullptr) {
+                s->head = h->next.load();
+                s->size.store(s->size.load() - 1);
+                flock::retire(h);
+              }
+            }
+            return true;
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  // Count the list and drain it.
+  uint64_t counted = 0;
+  node* h = s->head.read_raw();
+  while (h != nullptr) {
+    counted++;
+    node* nxt = h->next.read_raw();
+    flock::pool_delete(h);
+    h = nxt;
+  }
+  EXPECT_EQ(counted, s->size.read_raw());
+  flock::pool_delete(s);
+  for (int i = 0; i < 10; i++) flock::epoch_manager::instance().flush();
+  EXPECT_EQ(flock::pool_outstanding<node>(), before);
+}
+
+// Hand-over-hand traversal over a chain of locks using early unlock.
+// The thunks capture ONLY stable pointers by value: helpers may run a
+// thunk after the creator's inner stack frames are gone (§6 "Capturing
+// by Value"), so capturing a local std::function by reference would be a
+// use-after-free in lock-free mode.
+struct hoh_cell {
+  flock::lock lck;
+  flock::mutable_<uint64_t> v;
+};
+
+struct hoh {
+  static bool step(hoh_cell* chain, int n, int i) {
+    chain[i].v.store(chain[i].v.load() + 1);
+    if (i + 1 == n) return true;
+    return flock::try_lock(chain[i + 1].lck, [chain, n, i] {
+      flock::unlock(chain[i].lck);
+      return step(chain, n, i + 1);
+    });
+  }
+};
+
+TEST_P(StressModes, HandOverHandChain) {
+  constexpr int kChain = 10;
+  std::vector<hoh_cell> chain(kChain);
+  for (auto& c : chain) c.v.init(0);
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; t++) {
+    ts.emplace_back([&] {
+      for (int rep = 0; rep < 500; rep++) {
+        hoh_cell* base = chain.data();
+        flock::with_epoch([&] {
+          return flock::strict_lock(chain[0].lck, [base] {
+            return hoh::step(base, kChain, 0);
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // Not all traversals complete (inner try_lock may fail), but every cell
+  // must have a count <= cell 0's count, and cell 0 has all attempts.
+  uint64_t first = chain[0].v.read_raw();
+  EXPECT_GT(first, 0u);
+  for (int i = 1; i < kChain; i++)
+    EXPECT_LE(chain[i].v.read_raw(), first);
+}
+
+// Long helping chains: nested try_locks of depth kDepth in decreasing
+// lock order. Ensures nested helping with depth > 2 works (Theorem 4.2's
+// chain argument). Thunks capture only stable pointers by value.
+struct deep {
+  static bool go(hoh_cell* ls, int n, int d) {
+    ls[d].v.store(ls[d].v.load() + 1);
+    if (d + 1 == n) return true;
+    return flock::try_lock(ls[d + 1].lck,
+                           [ls, n, d] { return go(ls, n, d + 1); });
+  }
+};
+
+TEST_P(StressModes, DeepNesting) {
+  constexpr int kDepth = 6;
+  std::vector<hoh_cell> ls(kDepth);
+  for (auto& l : ls) l.v.init(0);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; t++) {
+    ts.emplace_back([&] {
+      for (int rep = 0; rep < 300; rep++) {
+        hoh_cell* base = ls.data();
+        flock::with_epoch([&] {
+          return flock::try_lock(ls[0].lck, [base] {
+            return deep::go(base, kDepth, 0);
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (int d = 1; d < kDepth; d++)
+    EXPECT_LE(ls[d].v.read_raw(), ls[d - 1].v.read_raw()) << "depth " << d;
+  EXPECT_GT(ls[0].v.read_raw(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, StressModes, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "blocking" : "lockfree";
+                         });
+
+// Lock-free progress under forced preemption: more threads than cores,
+// tiny critical sections, strict locks. In blocking mode this would be
+// slow but correct; in lock-free mode helpers keep the system moving.
+// We assert completion within a generous wall-clock budget.
+TEST(LockStress, LockFreeOversubscribedFinishes) {
+  flock::set_blocking(false);
+  flock::lock l;
+  auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+  x->init(0);
+  const int kThreads =
+      3 * static_cast<int>(std::thread::hardware_concurrency());
+  constexpr int kOps = 300;
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; t++) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kOps; i++) {
+        flock::with_epoch([&] {
+          return flock::strict_lock(l, [x] {
+            x->store(x->load() + 1);
+            return true;
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  auto secs = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  EXPECT_EQ(x->read_raw(), static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_LT(secs, 120.0);
+  flock::pool_delete(x);
+  flock::epoch_manager::instance().flush();
+}
+
+}  // namespace

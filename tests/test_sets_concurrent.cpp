@@ -1,0 +1,105 @@
+// Cross-cutting concurrent battery over every Flock structure in both
+// lock modes, plus mode-equivalence checks (blocking and lock-free runs
+// of the same op sequence must produce identical sets).
+#include <map>
+
+#include "set_test_util.hpp"
+#include "workload/driver.hpp"
+#include "workload/set_adapter.hpp"
+
+namespace {
+
+template <class T>
+class AllSetsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+using all_types =
+    ::testing::Types<flock_workload::lazylist_try, flock_workload::dlist_try,
+                     flock_workload::hashtable_try,
+                     flock_workload::leaftree_try,
+                     flock_workload::leaftreap_try, flock_workload::abtree_try,
+                     flock_workload::arttree_try>;
+
+TYPED_TEST_SUITE(AllSetsTest, all_types);
+
+TYPED_TEST(AllSetsTest, MixedWorkloadDriverLockFree) {
+  flock::set_blocking(false);
+  TypeParam s;
+  flock_workload::zipf_distribution dist(1000, 0.75);
+  flock_workload::prefill_half(s, 1000, 4);
+  flock_workload::run_config cfg;
+  cfg.threads = 8;
+  cfg.update_percent = 50;
+  cfg.millis = 100;
+  auto res = flock_workload::run_mixed(s, dist, cfg);
+  EXPECT_GT(res.total_ops, 0u);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TYPED_TEST(AllSetsTest, MixedWorkloadDriverBlocking) {
+  flock::set_blocking(true);
+  TypeParam s;
+  flock_workload::zipf_distribution dist(1000, 0.75);
+  flock_workload::prefill_half(s, 1000, 4);
+  flock_workload::run_config cfg;
+  cfg.threads = 8;
+  cfg.update_percent = 50;
+  cfg.millis = 100;
+  auto res = flock_workload::run_mixed(s, dist, cfg);
+  EXPECT_GT(res.total_ops, 0u);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TYPED_TEST(AllSetsTest, ModeEquivalenceSequential) {
+  // The same deterministic op sequence in blocking and lock-free modes
+  // must externalize identical results and final contents.
+  std::mt19937_64 rng(77);
+  std::vector<std::tuple<int, uint64_t>> script;
+  for (int i = 0; i < 5000; i++)
+    script.emplace_back(static_cast<int>(rng() % 3), rng() % 300 + 1);
+
+  std::map<uint64_t, uint64_t> contents[2];
+  for (int mode = 0; mode < 2; mode++) {
+    flock::set_blocking(mode == 1);
+    TypeParam s;
+    for (auto [op, k] : script) {
+      if (op == 0)
+        s.insert(k, k);
+      else if (op == 1)
+        s.remove(k);
+      else
+        s.find(k);
+    }
+    for (uint64_t k = 1; k <= 300; k++) {
+      auto v = s.find(k);
+      if (v.has_value()) contents[mode][k] = *v;
+    }
+  }
+  EXPECT_EQ(contents[0], contents[1]);
+}
+
+TYPED_TEST(AllSetsTest, OversubscribedLockFreeHeavy) {
+  flock::set_blocking(false);
+  TypeParam s;
+  int threads = 3 * static_cast<int>(std::thread::hardware_concurrency());
+  set_test::concurrent_stress(s, threads, 128, 1000, 80);
+}
+
+TYPED_TEST(AllSetsTest, MemoryStableAcrossChurn) {
+  // Run heavy churn twice; pending retirements must not grow unboundedly.
+  flock::set_blocking(false);
+  {
+    TypeParam s;
+    set_test::high_contention(s, 8, 10000);
+  }
+  flock::epoch_manager::instance().flush();
+  long long pending = flock::epoch_manager::instance().pending();
+  EXPECT_LT(pending, 100000);
+}
+
+}  // namespace

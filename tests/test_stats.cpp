@@ -1,0 +1,69 @@
+// Stats counters (flock/stats.hpp): creation/help/reuse accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "flock/flock.hpp"
+
+namespace {
+
+TEST(Stats, UncontendedLocksReuseDescriptors) {
+  flock::set_blocking(false);
+  flock::lock l;
+  auto before = flock::stats();
+  for (int i = 0; i < 1000; i++) {
+    flock::with_epoch([&] {
+      return flock::try_lock(l, [] { return true; });
+    });
+  }
+  auto after = flock::stats();
+  // Every acquisition created a descriptor...
+  EXPECT_GE(after.descriptors_created - before.descriptors_created, 1000u);
+  // ...and with no contention, every one took the fast reuse path.
+  EXPECT_GE(after.descriptors_reused - before.descriptors_reused, 1000u);
+  EXPECT_EQ(after.helps_run - before.helps_run, 0u);
+}
+
+TEST(Stats, ContendedLocksRecordHelping) {
+  flock::set_blocking(false);
+  flock::lock l;
+  auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+  x->init(0);
+  auto before = flock::stats();
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; t++) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 3000; i++) {
+        flock::with_epoch([&] {
+          return flock::try_lock(l, [x] {
+            x->store(x->load() + 1);
+            return true;
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  auto after = flock::stats();
+  EXPECT_GT(after.helps_attempted - before.helps_attempted, 0u);
+  flock::pool_delete(x);
+  flock::epoch_manager::instance().flush();
+}
+
+TEST(Stats, BlockingModeCreatesNoDescriptors) {
+  flock::set_blocking(true);
+  flock::lock l;
+  auto before = flock::stats();
+  for (int i = 0; i < 100; i++) {
+    flock::with_epoch([&] {
+      return flock::try_lock(l, [] { return true; });
+    });
+  }
+  auto after = flock::stats();
+  EXPECT_EQ(after.descriptors_created, before.descriptors_created);
+  flock::set_blocking(false);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Tests for the inline-storage thunk type.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <memory>
+
+#include "flock/flock.hpp"
+
+namespace {
+
+TEST(Thunk, InvokesSmallLambda) {
+  flock::thunk t;
+  int x = 41;
+  t.emplace([x] { return x + 1 == 42; });
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(t());
+}
+
+TEST(Thunk, CapturesByValue) {
+  flock::thunk t;
+  {
+    int local = 7;
+    t.emplace([local] { return local == 7; });
+    local = 8;  // must not affect the stored copy
+  }
+  EXPECT_TRUE(t());
+}
+
+TEST(Thunk, LargeCapturesFallBackToHeap) {
+  flock::thunk t;
+  std::array<uint64_t, 64> big{};  // 512 bytes > inline budget
+  big[63] = 9;
+  t.emplace([big] { return big[63] == 9; });
+  EXPECT_TRUE(t());
+}
+
+TEST(Thunk, DestructorRunsCaptures) {
+  static std::atomic<int> dtors{0};
+  struct probe {
+    bool moved = false;
+    probe() = default;
+    probe(const probe&) {}
+    probe(probe&& o) noexcept { o.moved = true; }
+    ~probe() {
+      if (!moved) dtors.fetch_add(1);
+    }
+  };
+  dtors.store(0);
+  {
+    flock::thunk t;
+    probe p;
+    t.emplace([p] {
+      (void)&p;
+      return true;
+    });
+  }
+  // At least the stored copy was destroyed.
+  EXPECT_GE(dtors.load(), 1);
+}
+
+TEST(Thunk, ReEmplaceReplaces) {
+  flock::thunk t;
+  t.emplace([] { return false; });
+  t.emplace([] { return true; });
+  EXPECT_TRUE(t());
+}
+
+TEST(Thunk, SharedPtrCaptureRefcount) {
+  auto sp = std::make_shared<int>(5);
+  flock::thunk t;
+  t.emplace([sp] { return *sp == 5; });
+  EXPECT_EQ(sp.use_count(), 2);
+  EXPECT_TRUE(t());
+  t.clear();
+  EXPECT_EQ(sp.use_count(), 1);
+}
+
+}  // namespace
