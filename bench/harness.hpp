@@ -170,6 +170,50 @@ void sweep_sizes(const char* figure, const std::string& series,
   }
 }
 
+// --- machine-readable output (BENCH_micro.json) ----------------------------
+//
+// Benchmarks that want their numbers tracked across PRs append
+// series -> mops pairs here and call write_json() at exit; the driver
+// compares the file against the previous PR's copy. Path overridable with
+// FLOCK_BENCH_JSON.
+class json_reporter {
+ public:
+  void add(const std::string& series, double mops) {
+    series_.emplace_back(series, mops);
+  }
+
+  void write(const char* default_path = "BENCH_micro.json") {
+    const char* path = std::getenv("FLOCK_BENCH_JSON");
+    if (path == nullptr) path = default_path;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json_reporter: cannot open %s\n", path);
+      return;
+    }
+    std::fprintf(f, "{\n  \"series\": {\n");
+    for (std::size_t i = 0; i < series_.size(); i++)
+      std::fprintf(f, "    \"%s\": %.3f%s\n", series_[i].first.c_str(),
+                   series_[i].second, i + 1 < series_.size() ? "," : "");
+    flock::stats_snapshot s = flock::stats();
+    std::fprintf(f,
+                 "  },\n  \"stats\": {\n"
+                 "    \"descriptors_created\": %llu,\n"
+                 "    \"helps_attempted\": %llu,\n"
+                 "    \"helps_run\": %llu,\n"
+                 "    \"descriptors_reused\": %llu\n"
+                 "  }\n}\n",
+                 static_cast<unsigned long long>(s.descriptors_created),
+                 static_cast<unsigned long long>(s.helps_attempted),
+                 static_cast<unsigned long long>(s.helps_run),
+                 static_cast<unsigned long long>(s.descriptors_reused));
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path);
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> series_;
+};
+
 /// Default thread axis: powers up to max, plus oversubscribed points.
 inline std::vector<int> thread_axis() {
   std::vector<int> v;

@@ -10,11 +10,13 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
 #include "ds/dlist.hpp"
 #include "flock/flock.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -166,6 +168,113 @@ void BM_pool_new_delete(benchmark::State& state) {
 }
 BENCHMARK(BM_pool_new_delete);
 
+// --- JSON throughput series (BENCH_micro.json) -----------------------------
+//
+// Timed loops independent of the google-benchmark harness so the numbers
+// are directly comparable across PRs: single-thread uncontended try_lock
+// cycles in Mops for both modes, plus raw/logged mutable ops.
+
+template <class Op>
+double mops_of(Op&& op, long iters) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (long i = 0; i < iters; i++) op();
+  auto t1 = std::chrono::steady_clock::now();
+  double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(iters) / secs / 1e6;
+}
+
+void emit_json_series() {
+  const long iters = bench::env_long("FLOCK_MICRO_ITERS", 2000000);
+  bench::json_reporter rep;
+
+  {
+    flock::set_blocking(false);
+    flock::lock l;
+    auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+    x->init(0);
+    auto cycle = [&] {
+      flock::with_epoch([&] {
+        return flock::try_lock(l, [x] {
+          x->store(x->load() + 1);
+          return true;
+        });
+      });
+    };
+    mops_of(cycle, iters / 10);  // warmup
+    rep.add("trylock_lockfree_uncontended", mops_of(cycle, iters));
+    flock::pool_delete(x);
+    flock::epoch_manager::instance().flush();
+  }
+  {
+    flock::mode_guard mode(true);
+    flock::lock l;
+    auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+    x->init(0);
+    auto cycle = [&] {
+      flock::with_epoch([&] {
+        return flock::try_lock(l, [x] {
+          x->store(x->load() + 1);
+          return true;
+        });
+      });
+    };
+    mops_of(cycle, iters / 10);
+    rep.add("trylock_blocking_uncontended", mops_of(cycle, iters));
+    flock::pool_delete(x);
+  }
+  {
+    flock::set_blocking(false);
+    flock::lock l;
+    auto cycle = [&] {
+      flock::with_epoch(
+          [&] { return flock::try_lock(l, [] { return true; }); });
+    };
+    mops_of(cycle, iters / 10);
+    rep.add("trylock_lockfree_empty_thunk", mops_of(cycle, iters));
+    flock::epoch_manager::instance().flush();
+  }
+  {
+    flock::mutable_<uint64_t> m(42);
+    rep.add("mutable_load_raw",
+            mops_of([&] { benchmark::DoNotOptimize(m.load()); }, iters));
+    auto* blk = flock::pool_new<flock::log_block>();
+    rep.add("mutable_load_logged", mops_of(
+                                       [&] {
+                                         flock::tls_log() = {blk, 0};
+                                         blk->entries[0].v.store(
+                                             0, std::memory_order_relaxed);
+                                         benchmark::DoNotOptimize(m.load());
+                                       },
+                                       iters));
+    flock::tls_log() = {};
+    flock::pool_delete(blk);
+  }
+  {
+    struct obj {
+      uint64_t a[4];
+    };
+    rep.add("pool_new_delete", mops_of(
+                                   [&] {
+                                     obj* p = flock::pool_new<obj>();
+                                     benchmark::DoNotOptimize(p);
+                                     flock::pool_delete(p);
+                                   },
+                                   iters));
+  }
+  {
+    rep.add("epoch_retire_cycle", mops_of(
+                                      [&] {
+                                        flock::with_epoch([&] {
+                                          auto* p = flock::pool_new<uint64_t>();
+                                          flock::epoch_retire(p);
+                                        });
+                                      },
+                                      iters));
+    flock::epoch_manager::instance().flush();
+  }
+  rep.write();
+}
+
 // --- log entries per operation (paper §8: "about 5") -----------------------
 
 void report_log_entries_per_op() {
@@ -192,5 +301,6 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   report_log_entries_per_op();
+  emit_json_series();
   return 0;
 }

@@ -6,6 +6,11 @@
 // *freeing* thread's list. Cross-thread frees are expected (helpers retire
 // other threads' nodes), so lists are per-thread and never shared.
 //
+// Hot-path design: the pool state is a zero-initialized static array
+// (no function-local-static guard on access), indexed by the caller's
+// thread context. Slab refill is per-thread — each thread chains the
+// slabs it allocated onto its own slot, so refill takes no global lock.
+//
 // The pool also supports the paper's "shuffle" trick (§8): pre-allocating
 // a large batch and freeing it in random order to decorrelate placement.
 #pragma once
@@ -13,50 +18,56 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdlib>
-#include <mutex>
 #include <new>
 #include <random>
 #include <utility>
 #include <vector>
 
 #include "config.hpp"
+#include "thread_context.hpp"
 #include "threading.hpp"
 
 namespace flock {
 namespace detail {
 
 /// Untyped per-thread free-list pool for blocks of a fixed size/alignment.
+/// All state is static and zero-initialized, so access needs no singleton
+/// guard; functions take the caller's thread context explicitly.
 template <std::size_t Size, std::size_t Align>
 class raw_pool {
   struct free_node {
     free_node* next;
   };
+  struct slab_link {
+    slab_link* next;
+  };
   static constexpr std::size_t kSlot =
       Size < sizeof(free_node) ? sizeof(free_node) : Size;
+  // Object sizes are multiples of their alignment, so a header of one
+  // Align-rounded pointer keeps every object correctly aligned.
+  static constexpr std::size_t kHeader =
+      (sizeof(slab_link) + Align - 1) / Align * Align;
   static constexpr std::size_t kSlabObjects = 256;
 
   struct alignas(kCacheLine) per_thread {
-    free_node* head = nullptr;
-    std::size_t outstanding = 0;  // live objects allocated - freed (stats)
+    free_node* head;
+    long long outstanding;  // live objects allocated - freed (stats)
+    slab_link* slabs;       // slabs this thread allocated (owner-only)
   };
 
  public:
-  static raw_pool& instance() {
-    static raw_pool p;
-    return p;
-  }
-
-  void* allocate() {
-    per_thread& t = slot();
-    if (t.head == nullptr) refill(t);
+  static void* allocate(thread_context* c) {
+    per_thread& t = slots_[c->id];
     free_node* n = t.head;
+    if (n == nullptr) [[unlikely]]
+      n = refill(t);
     t.head = n->next;
     ++t.outstanding;
     return n;
   }
 
-  void deallocate(void* p) {
-    per_thread& t = slot();
+  static void deallocate(thread_context* c, void* p) {
+    per_thread& t = slots_[c->id];
     auto* n = static_cast<free_node*>(p);
     n->next = t.head;
     t.head = n;
@@ -65,68 +76,93 @@ class raw_pool {
 
   /// Net live objects across all threads (approximate under concurrency;
   /// exact at quiescence). Used by leak-accounting tests.
-  long long outstanding() const {
+  static long long outstanding() {
     long long sum = 0;
-    for (int i = 0; i < kMaxThreads; i++)
-      sum += static_cast<long long>(slots_[i].outstanding);
+    const int bound = thread_id_bound();
+    for (int i = 0; i < bound; i++) sum += slots_[i].outstanding;
     return sum;
   }
 
   /// Paper §8: allocate a large batch and free it in random order so run-to-
   /// run placement is decorrelated.
-  void shuffle(std::size_t count) {
+  static void shuffle(std::size_t count) {
+    thread_context* c = my_ctx();
     std::vector<void*> v;
     v.reserve(count);
-    for (std::size_t i = 0; i < count; i++) v.push_back(allocate());
+    for (std::size_t i = 0; i < count; i++) v.push_back(allocate(c));
     std::mt19937_64 rng(0x9e3779b97f4a7c15ULL);
     std::shuffle(v.begin(), v.end(), rng);
-    for (void* p : v) deallocate(p);
+    for (void* p : v) deallocate(c, p);
   }
 
  private:
-  per_thread& slot() { return slots_[thread_id()]; }
-
-  void refill(per_thread& t) {
-    void* slab = ::operator new(kSlot * kSlabObjects, std::align_val_t{Align});
-    {
-      std::lock_guard<std::mutex> g(slabs_mu_);
-      slabs_.push_back(slab);
-    }
-    char* base = static_cast<char*>(slab);
+  [[gnu::noinline]] static free_node* refill(per_thread& t) {
+    void* mem = ::operator new(kHeader + kSlot * kSlabObjects,
+                               std::align_val_t{Align});
+    auto* link = static_cast<slab_link*>(mem);
+    link->next = t.slabs;
+    t.slabs = link;
+    char* base = static_cast<char*>(mem) + kHeader;
     for (std::size_t i = 0; i < kSlabObjects; i++) {
       auto* n = reinterpret_cast<free_node*>(base + i * kSlot);
       n->next = t.head;
       t.head = n;
     }
+    free_node* n = t.head;
+    return n;
   }
 
-  raw_pool() = default;
-  ~raw_pool() {
-    for (void* s : slabs_) ::operator delete(s, std::align_val_t{Align});
-  }
+  // Slabs are returned to the OS only at process exit (as before); the
+  // reaper walks every thread's chain. Its destructor must not run while
+  // library threads are still allocating — same static-destruction caveat
+  // the mutex-guarded slab list had.
+  struct reaper {
+    ~reaper() {
+      for (int i = 0; i < kMaxThreads; i++) {
+        slab_link* s = slots_[i].slabs;
+        slots_[i] = per_thread{};
+        while (s != nullptr) {
+          slab_link* nxt = s->next;
+          ::operator delete(static_cast<void*>(s), std::align_val_t{Align});
+          s = nxt;
+        }
+      }
+    }
+  };
 
-  per_thread slots_[kMaxThreads];
-  std::mutex slabs_mu_;
-  std::vector<void*> slabs_;  // never returned to the OS until exit
+  inline static per_thread slots_[kMaxThreads] = {};
+  inline static reaper reaper_{};
 };
 
 template <class T>
 using pool_for = raw_pool<sizeof(T), alignof(T) < 8 ? 8 : alignof(T)>;
+
+/// Context-threaded allocation for hot paths that already hold a context.
+template <class T, class... Args>
+T* pool_new_ctx(thread_context* c, Args&&... args) {
+  void* mem = pool_for<T>::allocate(c);
+  return ::new (mem) T(std::forward<Args>(args)...);
+}
+
+template <class T>
+void pool_delete_ctx(thread_context* c, T* p) {
+  p->~T();
+  pool_for<T>::deallocate(c, p);
+}
 
 }  // namespace detail
 
 /// Construct a T from a per-thread pool.
 template <class T, class... Args>
 T* pool_new(Args&&... args) {
-  void* mem = detail::pool_for<T>::instance().allocate();
-  return ::new (mem) T(std::forward<Args>(args)...);
+  return detail::pool_new_ctx<T>(detail::my_ctx(),
+                                 std::forward<Args>(args)...);
 }
 
 /// Destroy and return to the pool.
 template <class T>
 void pool_delete(T* p) {
-  p->~T();
-  detail::pool_for<T>::instance().deallocate(p);
+  detail::pool_delete_ctx(detail::my_ctx(), p);
 }
 
 /// Type-erased deleter usable as a plain function pointer (epoch retire).
@@ -138,13 +174,13 @@ void pool_delete_erased(void* p) {
 /// Net live pool objects of type T (leak accounting in tests).
 template <class T>
 long long pool_outstanding() {
-  return detail::pool_for<T>::instance().outstanding();
+  return detail::pool_for<T>::outstanding();
 }
 
 /// Decorrelate allocator placement (paper §8 warmup step).
 template <class T>
 void pool_shuffle(std::size_t count) {
-  detail::pool_for<T>::instance().shuffle(count);
+  detail::pool_for<T>::shuffle(count);
 }
 
 }  // namespace flock

@@ -45,31 +45,46 @@ struct descriptor {
 
   /// Alg. 2 `run`: install this descriptor's log as the thread's current
   /// log, run the thunk, restore the previous log (supports nesting).
-  bool run() {
-    log_cursor& cur = tls_log();
-    log_cursor saved = cur;
-    cur = {&head, 0};
+  bool run(detail::thread_context* c) {
+    log_cursor saved = c->log;
+    c->log = {&head, 0};
     bool result = fn();
-    cur = saved;
+    c->log = saved;
     return result;
   }
+
+  bool run() { return run(detail::my_ctx()); }
 };
 
-/// Idempotent descriptor creation (Alg. 3 createDescriptor): every run of
-/// the enclosing thunk builds a candidate; the first to commit wins and
-/// losers free theirs (they were never published).
-template <class F>
-descriptor* create_descriptor(F&& f) {
-  detail::my_stats().created++;
-  descriptor* mine = pool_new<descriptor>();
+namespace detail {
+
+/// Idempotent descriptor creation (Alg. 3 createDescriptor) with the
+/// caller's context and compile-time ccas: every run of the enclosing
+/// thunk builds a candidate; the first to commit wins and losers free
+/// theirs (they were never published).
+template <bool Ccas, class F>
+descriptor* create_descriptor_ctx(thread_context* c, F&& f) {
+  c->stat_created++;
+  descriptor* mine = pool_new_ctx<descriptor>(c);
   mine->fn.emplace(std::forward<F>(f));
-  int64_t e = epoch_manager::instance().announced(thread_id());
+  int64_t e = c->announced.load(std::memory_order_relaxed);
   mine->epoch = e >= 0 ? e : epoch_manager::instance().current_epoch();
   auto [committed, first] =
-      commit64_first(reinterpret_cast<uint64_t>(mine));
+      commit64_first_ctx<Ccas>(c, reinterpret_cast<uint64_t>(mine));
   if (first) return mine;
-  pool_delete(mine);
+  pool_delete_ctx(c, mine);
   return reinterpret_cast<descriptor*>(committed);
+}
+
+}  // namespace detail
+
+/// Public spelling (one context fetch, one ccas-flag load).
+template <class F>
+descriptor* create_descriptor(F&& f) {
+  detail::thread_context* c = detail::my_ctx();
+  return use_ccas()
+             ? detail::create_descriptor_ctx<true>(c, std::forward<F>(f))
+             : detail::create_descriptor_ctx<false>(c, std::forward<F>(f));
 }
 
 }  // namespace flock

@@ -1,109 +1,108 @@
 // epoch.hpp — epoch-based memory reclamation (paper §6 "Epoch-based
-// collection") with helper epoch adoption.
+// collection") with helper epoch adoption and DEBRA-style amortization.
 //
-// Scheme: a global epoch counter plus one padded announcement slot per
-// thread. An operation announces the current global epoch for its whole
-// duration (`with_epoch`). Retired objects are stamped with the global
-// epoch at retire time and freed once every announced epoch is strictly
-// greater than the stamp. Because an object is only retired after it was
-// reachable, any reader that can still hold a reference announced an epoch
-// no larger than the retire stamp, so the gate is sound.
+// Scheme: a global epoch counter plus one announcement slot per thread
+// (in its thread context). An operation announces the current global
+// epoch for its whole duration (`with_epoch`). Retired objects are pushed
+// onto a fixed-capacity per-thread batch — an O(1) pointer bump. When a
+// batch fills it is *sealed*: stamped with the current global epoch
+// (an upper bound on every member's retire-time epoch) and queued FIFO.
+// A sealed batch is freeable once every announced epoch is strictly
+// greater than its stamp. Because an object is only retired after it was
+// unlinked, any reader that can still hold a reference announced an epoch
+// no larger than the stamp, so the gate is sound.
+//
+// Amortization (cf. DEBRA): reclamation keeps a *cached* lower bound on
+// the minimum announced epoch (`min_bound_`). Sealing first tries to free
+// old batches against the cached bound — no scanning at all. Only when
+// the backlog persists does it pay for one announcement scan (bounded by
+// thread_id_bound()) plus an epoch-advance attempt, and the scan result
+// refreshes the cache for everyone. The cache is sound because the bound
+// is monotone: a scan that observed minimum m with global counter g
+// guarantees no thread can later announce below min(m, g) — fresh
+// announcements take the (validated, see announce()) current global
+// >= g, and helper adoption only adopts the epoch of an installed
+// descriptor whose creator is still announcing it, which any scan already
+// counted.
 //
 // Helper adoption (paper §6): when a thread helps a descriptor it lowers
 // its announcement to min(own, descriptor epoch) and restores it after.
-// This is safe because (a) lowering an announcement only widens protection,
-// and (b) while a descriptor is installed on a lock and not yet unlocked,
-// its creator is still inside `with_epoch` announcing the descriptor's
-// epoch, so nothing from that epoch onwards has been freed (see lock.hpp
-// for the ordering that makes the hand-off airtight).
+// This is safe because (a) lowering an announcement only widens
+// protection, and (b) while a descriptor is installed on a lock and not
+// yet unlocked, its creator is still inside `with_epoch` announcing the
+// descriptor's epoch, so nothing from that epoch onwards has been freed
+// (see lock.hpp for the ordering that makes the hand-off airtight).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <vector>
 
 #include "allocator.hpp"
 #include "config.hpp"
+#include "thread_context.hpp"
 #include "threading.hpp"
 
 namespace flock {
 
 class epoch_manager {
-  struct alignas(kCacheLine) slot_t {
-    std::atomic<int64_t> announced{-1};
-    int depth = 0;  // touched only by the owning thread
-  };
-
-  struct retired_item {
-    void* p;
-    void (*del)(void*);
-    int64_t epoch;
-  };
-
-  struct alignas(kCacheLine) retired_list {
-    std::vector<retired_item> items;
-    int64_t since_scan = 0;
-  };
-
-  static constexpr int64_t kScanThreshold = 64;
-
  public:
-  static epoch_manager& instance() {
-    static epoch_manager m;
-    return m;
-  }
+  /// The manager is constant-initialized static state; instance() is a
+  /// plain reference with no initialization guard.
+  static epoch_manager& instance() noexcept;
 
   /// Run `f` inside an epoch-protected region. Nesting is allowed; only the
   /// outermost level announces.
   template <class F>
   auto with_epoch(F&& f) -> decltype(f()) {
-    const int me = thread_id();
-    slot_t& s = slots_[me];
-    if (s.depth++ == 0) {
-      // seq_cst so the announcement is visible before any reads inside.
-      s.announced.store(global_.load(std::memory_order_relaxed),
-                        std::memory_order_seq_cst);
-    }
+    detail::thread_context* c = detail::my_ctx();
+    if (c->epoch_depth++ == 0) announce(c);
     struct guard {
-      slot_t* s;
+      detail::thread_context* c;
       ~guard() {
-        if (--s->depth == 0)
-          s->announced.store(-1, std::memory_order_release);
+        if (--c->epoch_depth == 0)
+          c->announced.store(-1, std::memory_order_release);
       }
-    } g{&s};
+    } g{c};
     return f();
   }
 
   /// Defer destruction of `p` until no announced epoch can still reference
   /// it. `del` must be a plain function (e.g. pool_delete_erased<T>).
+  /// O(1) amortized: a push, plus batch-granular reclamation on seal.
   void retire(void* p, void (*del)(void*)) {
-    const int me = thread_id();
-    retired_list& r = retired_[me];
-    r.items.push_back({p, del, global_.load(std::memory_order_acquire)});
-    if (++r.since_scan >= kScanThreshold) {
-      r.since_scan = 0;
-      try_advance();
-      collect(r);
-    }
+    retire_ctx(detail::my_ctx(), p, del);
+  }
+
+  void retire_ctx(detail::thread_context* c, void* p, void (*del)(void*)) {
+    detail::retire_batch* b = c->open;
+    if (b == nullptr) [[unlikely]]
+      b = c->open = alloc_batch(c);
+    b->items[b->n++] = {p, del};
+    ++c->retired_pending;
+    if (b->n == detail::retire_batch::kCapacity) [[unlikely]]
+      seal_and_reclaim(c);
   }
 
   /// Current announcement of a thread (-1 when quiescent).
   int64_t announced(int tid) const {
-    return slots_[tid].announced.load(std::memory_order_acquire);
+    return detail::g_ctx[tid].announced.load(std::memory_order_acquire);
   }
 
   /// Helper adoption: lower the calling thread's announcement to
   /// min(current, e). Returns the previous announcement for restore().
-  int64_t adopt(int64_t e) {
-    slot_t& s = slots_[thread_id()];
-    int64_t prev = s.announced.load(std::memory_order_relaxed);
+  int64_t adopt(int64_t e) { return adopt_ctx(detail::my_ctx(), e); }
+
+  int64_t adopt_ctx(detail::thread_context* c, int64_t e) {
+    int64_t prev = c->announced.load(std::memory_order_relaxed);
     if (prev < 0 || e < prev)
-      s.announced.store(e, std::memory_order_seq_cst);
+      c->announced.store(e, std::memory_order_seq_cst);
     return prev;
   }
 
-  void restore(int64_t prev) {
-    slots_[thread_id()].announced.store(prev, std::memory_order_seq_cst);
+  void restore(int64_t prev) { restore_ctx(detail::my_ctx(), prev); }
+
+  void restore_ctx(detail::thread_context* c, int64_t prev) {
+    c->announced.store(prev, std::memory_order_seq_cst);
   }
 
   int64_t current_epoch() const {
@@ -113,35 +112,130 @@ class epoch_manager {
   /// Objects retired by any thread but not yet freed (approximate).
   long long pending() const {
     long long n = 0;
-    for (int i = 0; i < kMaxThreads; i++)
-      n += static_cast<long long>(retired_[i].items.size());
+    const int bound = thread_id_bound();
+    for (int i = 0; i < bound; i++)
+      n += detail::g_ctx[i].retired_pending;
     return n;
   }
 
   /// Test/shutdown hook: advance epochs and drain every thread's retire
-  /// list, including lists stranded by exited threads. Requires
+  /// batches, including batches stranded by exited threads. Requires
   /// quiescence (no concurrent operations in flight) to fully drain; safe
   /// to call concurrently only with other flush() calls being absent.
   void flush() {
     for (int i = 0; i < 3; i++) try_advance();
     const int bound = thread_id_bound();
-    for (int i = 0; i < bound; i++) collect(retired_[i]);
+    for (int i = 0; i < bound; i++) {
+      detail::thread_context* c = &detail::g_ctx[i];
+      if (c->open != nullptr && c->open->n > 0) seal(c);
+    }
+    const int64_t b = refresh_bound();
+    for (int i = 0; i < bound; i++) drain_sealed(&detail::g_ctx[i], b);
   }
 
  private:
-  epoch_manager() = default;
-  // Deliberately no cleanup at static destruction: pools may already be
-  // gone. Tests drain with flush().
-  ~epoch_manager() = default;
+  /// Outermost announcement, with validation: re-announce until the
+  /// global counter stops moving under us, so a collector that advanced
+  /// the epoch concurrently cannot have missed this announcement while we
+  /// go on to read shared state (this validation is what lets reclamation
+  /// trust a cached minimum, see header comment).
+  void announce(detail::thread_context* c) {
+    int64_t e = global_.load(std::memory_order_relaxed);
+    c->announced.store(e, std::memory_order_seq_cst);
+    int64_t g;
+    while ((g = global_.load(std::memory_order_seq_cst)) != e) {
+      e = g;
+      c->announced.store(e, std::memory_order_seq_cst);
+    }
+  }
+
+  detail::retire_batch* alloc_batch(detail::thread_context* c) {
+    detail::retire_batch* b = c->batch_free;
+    if (b != nullptr) {
+      c->batch_free = b->next;
+      --c->batch_free_n;
+      b->epoch = -1;
+      b->n = 0;
+      b->next = nullptr;
+      return b;
+    }
+    return new detail::retire_batch{};
+  }
+
+  void recycle_batch(detail::thread_context* c, detail::retire_batch* b) {
+    if (c->batch_free_n < 2) {
+      b->next = c->batch_free;
+      c->batch_free = b;
+      ++c->batch_free_n;
+    } else {
+      delete b;
+    }
+  }
+
+  /// Stamp the open batch and queue it FIFO (oldest at head).
+  void seal(detail::thread_context* c) {
+    detail::retire_batch* b = c->open;
+    c->open = nullptr;
+    b->epoch = global_.load(std::memory_order_acquire);
+    b->next = nullptr;
+    if (c->sealed_tail == nullptr)
+      c->sealed_head = b;
+    else
+      c->sealed_tail->next = b;
+    c->sealed_tail = b;
+  }
+
+  void seal_and_reclaim(detail::thread_context* c) {
+    seal(c);
+    // Cheap pass: the cached bound, no scanning.
+    drain_sealed(c, min_bound_.load(std::memory_order_acquire));
+    if (c->sealed_head != nullptr) {
+      // Backlog persists: pay for one scan + advance, refresh the cache.
+      try_advance();
+      drain_sealed(c, refresh_bound());
+    }
+  }
+
+  /// Free sealed batches whose stamp precedes `bound` (strictly).
+  void drain_sealed(detail::thread_context* c, int64_t bound) {
+    detail::retire_batch* b = c->sealed_head;
+    while (b != nullptr && b->epoch < bound) {
+      detail::retire_batch* nxt = b->next;
+      for (int i = 0; i < b->n; i++) b->items[i].del(b->items[i].p);
+      c->retired_pending -= b->n;
+      recycle_batch(c, b);
+      b = nxt;
+    }
+    c->sealed_head = b;
+    if (b == nullptr) c->sealed_tail = nullptr;
+  }
 
   int64_t min_announced() const {
     int64_t mn = INT64_MAX;
     const int bound = thread_id_bound();
     for (int i = 0; i < bound; i++) {
-      int64_t e = slots_[i].announced.load(std::memory_order_acquire);
+      int64_t e = detail::g_ctx[i].announced.load(std::memory_order_acquire);
       if (e >= 0 && e < mn) mn = e;
     }
     return mn;
+  }
+
+  /// One announcement scan; returns a freeing bound for the caller's
+  /// *immediate* drain and raises the monotone cache. The immediate bound
+  /// matches the classic scheme: with nobody announced, everything
+  /// currently retired is free. The *cached* value is clamped to the
+  /// global counter read before the scan — the value future decisions can
+  /// trust, because validated future announcements can never land below
+  /// it.
+  int64_t refresh_bound() {
+    const int64_t g = global_.load(std::memory_order_seq_cst);
+    int64_t mn = min_announced();
+    int64_t cacheable = mn == INT64_MAX ? g : (mn < g ? mn : g);
+    int64_t cur = min_bound_.load(std::memory_order_relaxed);
+    while (cacheable > cur && !min_bound_.compare_exchange_weak(
+                                  cur, cacheable, std::memory_order_acq_rel)) {
+    }
+    return mn == INT64_MAX ? INT64_MAX : cacheable;
   }
 
   void try_advance() {
@@ -154,26 +248,18 @@ class epoch_manager {
       global_.compare_exchange_strong(g, g + 1, std::memory_order_acq_rel);
   }
 
-  void collect(retired_list& r) {
-    if (r.items.empty()) return;
-    const int64_t mn = min_announced();
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < r.items.size(); i++) {
-      retired_item& it = r.items[i];
-      // Freeable once no announced epoch is <= the retire stamp.
-      if (mn == INT64_MAX || it.epoch < mn) {
-        it.del(it.p);
-      } else {
-        r.items[keep++] = it;
-      }
-    }
-    r.items.resize(keep);
-  }
-
   std::atomic<int64_t> global_{0};
-  slot_t slots_[kMaxThreads];
-  retired_list retired_[kMaxThreads];
+  // Monotone lower bound on the minimum announced epoch (cached scan).
+  std::atomic<int64_t> min_bound_{0};
 };
+
+namespace detail {
+inline constinit epoch_manager g_epoch{};
+}  // namespace detail
+
+inline epoch_manager& epoch_manager::instance() noexcept {
+  return detail::g_epoch;
+}
 
 /// Convenience wrappers used throughout the library. ------------------------
 
@@ -187,5 +273,13 @@ template <class T>
 inline void epoch_retire(T* p) {
   epoch_manager::instance().retire(p, &pool_delete_erased<T>);
 }
+
+namespace detail {
+/// Context-threaded spelling for hot paths that already hold a context.
+template <class T>
+inline void epoch_retire_ctx(thread_context* c, T* p) {
+  g_epoch.retire_ctx(c, p, &pool_delete_erased<T>);
+}
+}  // namespace detail
 
 }  // namespace flock

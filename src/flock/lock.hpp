@@ -6,6 +6,13 @@
 // it, or helps whoever is installed and returns false. Anyone may run a
 // descriptor at any time; idempotence (descriptor log) makes that safe.
 //
+// Hot-path structure: try_lock/strict_lock perform exactly one runtime
+// mode dispatch at entry — is_blocking() picks the blocking path, and the
+// helping path is instantiated for each value of the ccas flag — then run
+// with the thread context in a register and every mode choice a
+// compile-time constant. No TLS lookups and no shared-flag loads happen
+// inside the loops.
+//
 // Log-slot discipline (this is what keeps nested locks correct): every run
 // of an enclosing thunk must consume the *same* log slots in the same
 // order. The deterministic prefix of try_lock — logged state load,
@@ -16,14 +23,29 @@
 // word's tag is monotonic while any stale referencer exists (descriptor
 // reuse is epoch-gated, see retire paths below).
 //
+// The ccas flag is resolved once per acquisition, so a concurrent
+// set_ccas() may race with in-flight operations running the other
+// specialization; that is harmless — both commit protocols agree on the
+// log-slot contents, ccas only elides CASes that would fail.
+//
 // helped/reuse hand-off (§6 "This requires some careful synchronization"):
-//   helper:  helped.store(true); seq_cst fence; re-read lock word ==
+//   helper:  helped.store(true) [seq_cst]; re-read lock word [seq_cst] ==
 //            installed value? run : abort.
-//   owner:   unlock (or observe unlocked); seq_cst fence; read helped.
-// The two seq_cst fences order the pair: either the owner sees
-// helped==true (and epoch-retires), or the helper sees the word moved on
-// (and never touches the descriptor). C++20 fence/coherence rules make
-// this airtight even when the retiring run only *observed* the unlock.
+//   owner:   unlock (CAS or observing read, both seq_cst); read helped
+//            [seq_cst].
+// All four accesses are seq_cst, so they have a total order S. Suppose the
+// owner's helped-read misses the helper's store AND the helper's re-read
+// misses the unlock: then owner-unlock <S owner-helped-read <S
+// helper-helped-store <S helper-re-read <S owner-unlock — a cycle. Hence
+// either the owner sees helped==true (and epoch-retires), or the helper
+// sees the word moved on (and never touches the descriptor). Lock-word
+// writes are all seq_cst RMWs, so a later-in-S read cannot observe an
+// earlier value; the word's tag is monotonic while any stale referencer
+// exists, so "moved on" is observable. This replaces the previous
+// fence-based pairing: seq_cst loads cost nothing extra on x86, which
+// deletes one full barrier from every uncontended acquisition (the
+// retire-side fence) — the helper side pays the xchg, but helping is the
+// cold path.
 #pragma once
 
 #include <atomic>
@@ -48,11 +70,18 @@ inline descriptor* lv_descr(uint64_t val) {
   return reinterpret_cast<descriptor*>(val & ~kLockedBit);
 }
 
+/// Polite spin-wait hint. Must be cheap: this sits inside the TAS backoff
+/// loop, so a full barrier here would serialize the very path that is
+/// trying to back off.
 inline void cpu_pause() {
 #if defined(__x86_64__) || defined(__i386__)
   __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
 #else
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Unknown ISA: a compiler-only barrier keeps the loop from being
+  // collapsed without issuing any fence instruction.
+  std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
 }
 
@@ -60,40 +89,43 @@ using lock_word = mutable_<uint64_t>;
 
 /// Effects-once unlock: flip (d|locked) -> (d|unlocked) if still current.
 /// Raw (no enclosing log slots); the tag makes repeats harmless.
-inline void raw_unlock(lock_word& st, descriptor* d) {
-  uint64_t p = st.read_raw_packed();
+template <bool Ccas>
+inline void raw_unlock(thread_context* c, lock_word& st, descriptor* d) {
+  // seq_cst read: if the CAS is skipped because someone else already
+  // unlocked, this read is the owner's hand-off access (see header).
+  uint64_t p = st.read_raw_packed_sc();
   uint64_t lockedv = reinterpret_cast<uint64_t>(d) | kLockedBit;
   if (val_of(p) == lockedv)
-    st.cas_raw_packed(p, reinterpret_cast<uint64_t>(d));
+    st.cas_raw_packed_ctx<Ccas>(c, p, reinterpret_cast<uint64_t>(d));
 }
 
 /// Run the descriptor's thunk (idempotently), mark done, release the lock.
-inline bool run_and_unlock(lock_word& st, descriptor* d) {
-  bool result = d->run();
+template <bool Ccas>
+inline bool run_and_unlock(thread_context* c, lock_word& st, descriptor* d) {
+  bool result = d->run(c);
   d->done.store(true, std::memory_order_release);
-  raw_unlock(st, d);
+  raw_unlock<Ccas>(c, st, d);
   return result;
 }
 
 /// Help the descriptor currently installed on `st` (Alg. 3 lines 24/26).
 /// `cur_packed` is the packed word under which the caller saw it locked.
 /// Consumes no enclosing log slots.
-inline void help(lock_word& st, uint64_t cur_packed) {
+template <bool Ccas>
+inline void help(thread_context* c, lock_word& st, uint64_t cur_packed) {
   descriptor* d = lv_descr(val_of(cur_packed));
-  my_stats().attempted++;
-  d->helped.store(true, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  c->stat_attempted++;
+  d->helped.store(true, std::memory_order_seq_cst);  // hand-off (see header)
   // Adopt the descriptor's epoch before validating: if the validation
   // passes, the creator was still announced at d->epoch when we re-read,
   // so everything the thunk can reach is protected from then on by *our*
   // lowered announcement (see epoch.hpp).
-  epoch_manager& em = epoch_manager::instance();
-  int64_t prev = em.adopt(d->epoch);
-  if (st.read_raw_packed() == cur_packed) {
-    my_stats().ran++;
-    run_and_unlock(st, d);
+  int64_t prev = g_epoch.adopt_ctx(c, d->epoch);
+  if (st.read_raw_packed_sc() == cur_packed) {
+    c->stat_ran++;
+    run_and_unlock<Ccas>(c, st, d);
   }
-  em.restore(prev);
+  g_epoch.restore_ctx(c, prev);
 }
 
 /// Retire a descriptor that was successfully installed. The retire
@@ -102,106 +134,114 @@ inline void help(lock_word& st, uint64_t cur_packed) {
 /// returned to the pool immediately (§6 optimization); everything else is
 /// epoch-retired because stale runs (of the descriptor itself, or of an
 /// enclosing thunk replaying this code) may still hold the pointer.
-inline void retire_installed(descriptor* d) {
-  bool nested = in_thunk();
-  if (!commit64_first(1).second) return;
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (!nested && !d->helped.load(std::memory_order_relaxed)) {
-    my_stats().reused++;
-    pool_delete(d);
+template <bool Ccas>
+inline void retire_installed(thread_context* c, descriptor* d) {
+  bool nested = c->log.block != nullptr;
+  if (!commit64_first_ctx<Ccas>(c, 1).second) return;
+  if (!nested && !d->helped.load(std::memory_order_seq_cst)) {
+    c->stat_reused++;
+    pool_delete_ctx(c, d);
   } else {
-    epoch_retire(d);
+    epoch_retire_ctx(c, d);
   }
 }
 
 /// Retire a descriptor whose install CAS lost: it was never on the lock,
 /// but nested replays can still reach it through the enclosing log.
-inline void retire_unpublished(descriptor* d) {
-  bool nested = in_thunk();
-  if (!commit64_first(1).second) return;
+template <bool Ccas>
+inline void retire_unpublished(thread_context* c, descriptor* d) {
+  bool nested = c->log.block != nullptr;
+  if (!commit64_first_ctx<Ccas>(c, 1).second) return;
   if (!nested)
-    pool_delete(d);
+    pool_delete_ctx(c, d);
   else
-    epoch_retire(d);
+    epoch_retire_ctx(c, d);
 }
 
 // --- lock-free (helping) mode ---------------------------------------------
 
-template <class F>
-bool try_lock_helping(lock_word& st, F&& f) {
-  uint64_t cur = st.load_packed();  // logged
+template <bool Ccas, class F>
+bool try_lock_helping(thread_context* c, lock_word& st, F&& f) {
+  uint64_t cur = st.load_packed_ctx<Ccas>(c);  // logged
   if (!lv_locked(val_of(cur))) {
-    descriptor* d = create_descriptor(std::forward<F>(f));  // logged alloc
+    descriptor* d =
+        create_descriptor_ctx<Ccas>(c, std::forward<F>(f));  // logged alloc
     uint64_t minev = reinterpret_cast<uint64_t>(d) | kLockedBit;
-    st.cas_raw_packed(cur, minev);  // install CAM: effects-once via tag
-    uint64_t nowv = val_of(st.load_packed());  // logged
-    bool d_done = commit_bool(d->done.load(std::memory_order_acquire));
+    st.cas_raw_packed_ctx<Ccas>(c, cur, minev);  // install CAM: effects-once
+    uint64_t nowv = val_of(st.load_packed_ctx<Ccas>(c));  // logged
+    bool d_done =
+        commit_bool_ctx<Ccas>(c, d->done.load(std::memory_order_acquire));
     if (d_done || nowv == minev) {
       // Acquired (possibly already helped to completion).
-      bool result = run_and_unlock(st, d);
-      retire_installed(d);
+      bool result = run_and_unlock<Ccas>(c, st, d);
+      retire_installed<Ccas>(c, d);
       return result;
     }
     if (lv_locked(nowv)) {
       // Help whoever holds the lock *now*; a fresh read keeps the helped
       // descriptor current, and help() revalidates before running.
       uint64_t fresh = st.read_raw_packed();
-      if (lv_locked(val_of(fresh))) help(st, fresh);
+      if (lv_locked(val_of(fresh))) help<Ccas>(c, st, fresh);
     }
-    retire_unpublished(d);
+    retire_unpublished<Ccas>(c, d);
     return false;
   }
-  help(st, cur);
+  help<Ccas>(c, st, cur);
   return false;
 }
 
-template <class F>
-bool strict_lock_helping(lock_word& st, F&& f) {
+template <bool Ccas, class F>
+bool strict_lock_helping(thread_context* c, lock_word& st, F&& f) {
   // §4: "by first creating the descriptor, and then putting the attempt to
   // acquire a lock into a while loop". All logged values are identical
   // across runs, so every run executes the same number of iterations.
-  descriptor* d = create_descriptor(std::forward<F>(f));
+  descriptor* d = create_descriptor_ctx<Ccas>(c, std::forward<F>(f));
   uint64_t minev = reinterpret_cast<uint64_t>(d) | kLockedBit;
   while (true) {
-    uint64_t cur = st.load_packed();  // logged
+    uint64_t cur = st.load_packed_ctx<Ccas>(c);  // logged
     if (!lv_locked(val_of(cur))) {
-      st.cas_raw_packed(cur, minev);
-      uint64_t nowv = val_of(st.load_packed());  // logged
-      bool d_done = commit_bool(d->done.load(std::memory_order_acquire));
+      st.cas_raw_packed_ctx<Ccas>(c, cur, minev);
+      uint64_t nowv = val_of(st.load_packed_ctx<Ccas>(c));  // logged
+      bool d_done =
+          commit_bool_ctx<Ccas>(c, d->done.load(std::memory_order_acquire));
       if (d_done || nowv == minev) {
-        bool result = run_and_unlock(st, d);
-        retire_installed(d);
+        bool result = run_and_unlock<Ccas>(c, st, d);
+        retire_installed<Ccas>(c, d);
         return result;
       }
       if (lv_locked(nowv)) {
         uint64_t fresh = st.read_raw_packed();
-        if (lv_locked(val_of(fresh))) help(st, fresh);
+        if (lv_locked(val_of(fresh))) help<Ccas>(c, st, fresh);
       }
     } else {
-      help(st, cur);
+      help<Ccas>(c, st, cur);
     }
   }
 }
 
 // --- blocking (test-and-test-and-set) mode ---------------------------------
+//
+// The blocking CASes skip the ccas pre-check (template argument false):
+// the caller just read the word, so a second read before the CAS is pure
+// overhead here.
 
 template <class F>
-bool try_lock_blocking(lock_word& st, F&& f) {
+bool try_lock_blocking(thread_context* c, lock_word& st, F&& f) {
   uint64_t p = st.read_raw_packed();
   if (lv_locked(val_of(p))) return false;
-  if (!st.cas_raw_packed(p, kLockedBit)) return false;
+  if (!st.cas_raw_packed_ctx<false>(c, p, kLockedBit)) return false;
   bool result = f();
   st.store_raw(0);
   return result;
 }
 
 template <class F>
-bool strict_lock_blocking(lock_word& st, F&& f) {
+bool strict_lock_blocking(thread_context* c, lock_word& st, F&& f) {
   int backoff = 1;
   while (true) {
     uint64_t p = st.read_raw_packed();
     if (!lv_locked(val_of(p))) {
-      if (st.cas_raw_packed(p, kLockedBit)) break;
+      if (st.cas_raw_packed_ctx<false>(c, p, kLockedBit)) break;
     } else {
       for (int i = 0; i < backoff; i++) cpu_pause();
       if (backoff < 1024)
@@ -227,31 +267,40 @@ class lock {
   /// Acquire-run-release if free; otherwise (lock-free mode) help the
   /// current holder and return false (Alg. 3 tryLock). The thunk must
   /// capture by value and is run idempotently in lock-free mode.
+  /// Mode is resolved exactly once, here.
   template <class F>
   bool try_lock(F&& f) {
+    detail::thread_context* c = detail::my_ctx();
     if (is_blocking())
-      return detail::try_lock_blocking(state_, std::forward<F>(f));
-    return detail::try_lock_helping(state_, std::forward<F>(f));
+      return detail::try_lock_blocking(c, state_, std::forward<F>(f));
+    if (use_ccas())
+      return detail::try_lock_helping<true>(c, state_, std::forward<F>(f));
+    return detail::try_lock_helping<false>(c, state_, std::forward<F>(f));
   }
 
   /// Strict lock: loops (helping in lock-free mode) until acquired.
   template <class F>
   bool strict_lock(F&& f) {
+    detail::thread_context* c = detail::my_ctx();
     if (is_blocking())
-      return detail::strict_lock_blocking(state_, std::forward<F>(f));
-    return detail::strict_lock_helping(state_, std::forward<F>(f));
+      return detail::strict_lock_blocking(c, state_, std::forward<F>(f));
+    if (use_ccas())
+      return detail::strict_lock_helping<true>(c, state_, std::forward<F>(f));
+    return detail::strict_lock_helping<false>(c, state_, std::forward<F>(f));
   }
 
   /// Early release (§4): undefined unless the calling thread('s thunk)
   /// holds the lock. Enables hand-over-hand locking.
   void unlock() {
+    detail::thread_context* c = detail::my_ctx();
     if (is_blocking()) {
       state_.store_raw(0);
       return;
     }
-    uint64_t cur = state_.load_packed();  // logged
-    if (detail::lv_locked(val_of(cur)))
-      state_.cas_raw_packed(cur, val_of(cur) & ~detail::kLockedBit);
+    if (use_ccas())
+      unlock_helping<true>(c);
+    else
+      unlock_helping<false>(c);
   }
 
   bool is_locked() const {
@@ -259,6 +308,14 @@ class lock {
   }
 
  private:
+  template <bool Ccas>
+  void unlock_helping(detail::thread_context* c) {
+    uint64_t cur = state_.load_packed_ctx<Ccas>(c);  // logged
+    if (detail::lv_locked(val_of(cur)))
+      state_.cas_raw_packed_ctx<Ccas>(c, cur,
+                                      val_of(cur) & ~detail::kLockedBit);
+  }
+
   detail::lock_word state_;
 };
 

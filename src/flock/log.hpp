@@ -14,6 +14,13 @@
 //  * commits use compare-and-compare-and-swap (§6 "Avoiding CASes"):
 //    read the slot first and skip the CAS when it is already full.
 //
+// Hot-path structure: the commit core is templated on the ccas choice and
+// takes the caller's thread context, so the lock machinery (which
+// dispatches on the mode once per acquisition, see lock.hpp) performs no
+// TLS lookups and no shared-flag loads inside its loops. The public
+// commit_* spellings keep the old behavior (one context fetch, one flag
+// load per call).
+//
 // Logs grow in blocks of kLogBlockEntries entries (§6 "Arbitrary Length
 // Logs"); extending the chain is itself idempotent: the first run to
 // overflow CASes a fresh block into the next pointer, losers free theirs.
@@ -27,6 +34,7 @@
 #include "allocator.hpp"
 #include "config.hpp"
 #include "epoch.hpp"
+#include "thread_context.hpp"
 
 namespace flock {
 
@@ -53,41 +61,36 @@ struct log_block {
 
 /// Thread-local cursor into the log of the thunk the thread is currently
 /// running; {nullptr, 0} outside of any thunk (then commits pass through).
-struct log_cursor {
-  log_block* block = nullptr;
-  int pos = 0;
-};
-
-inline log_cursor& tls_log() noexcept {
-  thread_local log_cursor cur;
-  return cur;
-}
+/// (The cursor itself lives in the thread context; log_cursor is defined
+/// in thread_context.hpp.)
+inline log_cursor& tls_log() noexcept { return detail::my_ctx()->log; }
 
 /// True when the calling thread is executing inside a thunk, i.e. loggable
 /// operations will be committed to a shared log.
-inline bool in_thunk() noexcept { return tls_log().block != nullptr; }
+inline bool in_thunk() noexcept {
+  return detail::my_ctx()->log.block != nullptr;
+}
 
 /// Per-thread count of log-slot commits, for instrumentation (e.g. the
 /// paper's "a successful insert commits about 5 entries to the log").
 inline uint64_t& tls_commit_count() noexcept {
-  thread_local uint64_t n = 0;
-  return n;
+  return detail::my_ctx()->commit_count;
 }
 
 namespace detail {
 
 /// Move the cursor to the next slot, growing the chain idempotently.
-inline void log_bump(log_cursor& cur) {
+inline void log_bump(thread_context* c, log_cursor& cur) {
   if (++cur.pos < kLogBlockEntries) return;
   log_block* nxt = cur.block->next.load(std::memory_order_acquire);
   if (nxt == nullptr) {
-    log_block* mine = pool_new<log_block>();
+    log_block* mine = pool_new_ctx<log_block>(c);
     log_block* expected = nullptr;
     if (cur.block->next.compare_exchange_strong(expected, mine,
                                                 std::memory_order_acq_rel)) {
       nxt = mine;
     } else {
-      pool_delete(mine);  // never published
+      pool_delete_ctx(c, mine);  // never published
       nxt = expected;
     }
   }
@@ -95,20 +98,20 @@ inline void log_bump(log_cursor& cur) {
   cur.pos = 0;
 }
 
-}  // namespace detail
-
-/// commitValue (Alg. 2 line 31) on a raw 128-bit payload. The payload must
-/// not use bit 127 (the present bit). Returns the committed payload and
-/// whether the calling run was first to commit.
-inline std::pair<u128, bool> commit_raw(u128 payload) {
-  log_cursor& cur = tls_log();
+/// commitValue (Alg. 2 line 31) core: ccas choice is a template constant,
+/// the context is supplied by the caller. The payload must not use bit
+/// 127 (the present bit). Returns the committed payload and whether the
+/// calling run was first to commit.
+template <bool Ccas>
+inline std::pair<u128, bool> commit_raw_ctx(thread_context* c, u128 payload) {
+  log_cursor& cur = c->log;
   if (cur.block == nullptr) return {payload, true};  // outside any lock
   log_entry& slot = cur.block->entries[cur.pos];
-  detail::log_bump(cur);
-  ++tls_commit_count();
+  log_bump(c, cur);
+  ++c->commit_count;
 
   const u128 desired = payload | kLogPresent;
-  if (use_ccas()) {
+  if constexpr (Ccas) {
     // Compare-and-compare-and-swap (§6): skip the CAS when already full.
     u128 seen = slot.v.load(std::memory_order_acquire);
     if (seen != kLogEmpty) return {seen & ~kLogPresent, false};
@@ -119,6 +122,33 @@ inline std::pair<u128, bool> commit_raw(u128 payload) {
     return {payload, true};
   }
   return {expected & ~kLogPresent, false};
+}
+
+template <bool Ccas>
+inline uint64_t commit64_ctx(thread_context* c, uint64_t v) {
+  return static_cast<uint64_t>(commit_raw_ctx<Ccas>(c, v).first);
+}
+
+template <bool Ccas>
+inline std::pair<uint64_t, bool> commit64_first_ctx(thread_context* c,
+                                                    uint64_t v) {
+  auto [cv, first] = commit_raw_ctx<Ccas>(c, v);
+  return {static_cast<uint64_t>(cv), first};
+}
+
+template <bool Ccas>
+inline bool commit_bool_ctx(thread_context* c, bool b) {
+  return commit64_ctx<Ccas>(c, b ? 1 : 0) != 0;
+}
+
+}  // namespace detail
+
+/// commitValue on a raw 128-bit payload (public spelling; one context
+/// fetch and one ccas-flag load per call).
+inline std::pair<u128, bool> commit_raw(u128 payload) {
+  detail::thread_context* c = detail::my_ctx();
+  return use_ccas() ? detail::commit_raw_ctx<true>(c, payload)
+                    : detail::commit_raw_ctx<false>(c, payload);
 }
 
 /// Convenience: commit a 64-bit value.
@@ -141,20 +171,26 @@ inline uint64_t commit_value(uint64_t v) { return commit64(v); }
 /// candidate, the first to commit wins, losers destroy theirs.
 template <class T, class... Args>
 T* idem_new(Args&&... args) {
-  T* mine = pool_new<T>(std::forward<Args>(args)...);
-  auto [committed, first] =
-      commit64_first(reinterpret_cast<uint64_t>(mine));
-  if (first) return mine;
-  pool_delete(mine);  // never published: immediate free is safe
-  return reinterpret_cast<T*>(committed);
+  detail::thread_context* c = detail::my_ctx();
+  T* mine = detail::pool_new_ctx<T>(c, std::forward<Args>(args)...);
+  auto r = use_ccas()
+               ? detail::commit64_first_ctx<true>(
+                     c, reinterpret_cast<uint64_t>(mine))
+               : detail::commit64_first_ctx<false>(
+                     c, reinterpret_cast<uint64_t>(mine));
+  if (r.second) return mine;
+  detail::pool_delete_ctx(c, mine);  // never published: immediate free is safe
+  return reinterpret_cast<T*>(r.first);
 }
 
 /// Idempotent retirement (Alg. 2 line 57): the first run to commit the
 /// flag owns the retirement; epoch-based collection frees it later.
 template <class T>
 void idem_retire(T* obj) {
-  bool first = commit64_first(1).second;
-  if (first) epoch_retire(obj);
+  detail::thread_context* c = detail::my_ctx();
+  bool first = use_ccas() ? detail::commit64_first_ctx<true>(c, 1).second
+                          : detail::commit64_first_ctx<false>(c, 1).second;
+  if (first) detail::epoch_retire_ctx(c, obj);
 }
 
 }  // namespace flock

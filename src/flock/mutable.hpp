@@ -20,6 +20,12 @@
 // fail); cam is a CAS that externalizes no result. Outside of any thunk,
 // commits pass through and these degrade to ordinary atomics.
 //
+// Hot-path structure: every public operation fetches the thread context
+// once and resolves the ccas flag once, then runs a fully specialized
+// core (_ctx<Ccas> members). The lock machinery calls the cores directly
+// with its own dispatch (lock.hpp), so its loops contain no TLS lookups
+// or shared-flag loads at all.
+//
 // Usage rule inherited from the paper: stores and CAMs must not race on
 // the same location (enforce with your locking discipline).
 #pragma once
@@ -53,27 +59,68 @@ class mutable_ {
 
   /// Idempotent load: logged inside a thunk (Alg. 2 line 40).
   T load() const {
-    return from_bits48<T>(val_of(load_packed()));
+    detail::thread_context* c = detail::my_ctx();
+    uint64_t p = word_.load(std::memory_order_acquire);
+    if (c->log.block != nullptr) {
+      p = use_ccas() ? detail::commit64_ctx<true>(c, p)
+                     : detail::commit64_ctx<false>(c, p);
+    }
+    return from_bits48<T>(val_of(p));
   }
 
   /// Idempotent store (Alg. 2 line 43): logged load then tag-bumping CAS.
   void store(T v) {
-    uint64_t oldp = load_packed();
-    cas_packed(oldp, pack_tagged(detail::next_tag(this, oldp), to_bits48(v)));
+    detail::thread_context* c = detail::my_ctx();
+    if (use_ccas())
+      store_ctx<true>(c, v);
+    else
+      store_ctx<false>(c, v);
   }
 
   /// Idempotent CAM (Alg. 2 line 46): CAS that returns nothing.
   void cam(T expected, T desired) {
-    uint64_t oldp = load_packed();
-    if (val_of(oldp) != to_bits48(expected)) return;
-    cas_packed(oldp,
-               pack_tagged(detail::next_tag(this, oldp), to_bits48(desired)));
+    detail::thread_context* c = detail::my_ctx();
+    if (use_ccas())
+      cam_ctx<true>(c, expected, desired);
+    else
+      cam_ctx<false>(c, expected, desired);
   }
 
   /// Sugar matching the paper's examples: assignment stores.
   mutable_& operator=(T v) {
     store(v);
     return *this;
+  }
+
+  // --- Specialized cores: context supplied, ccas resolved at compile
+  // time. Used by the public wrappers above and by lock.hpp. ---------------
+  template <bool Ccas>
+  void store_ctx(detail::thread_context* c, T v) {
+    uint64_t oldp = load_packed_ctx<Ccas>(c);
+    cas_packed_ctx<Ccas>(
+        c, oldp, pack_tagged(detail::next_tag(this, oldp), to_bits48(v)));
+  }
+
+  template <bool Ccas>
+  void cam_ctx(detail::thread_context* c, T expected, T desired) {
+    uint64_t oldp = load_packed_ctx<Ccas>(c);
+    if (val_of(oldp) != to_bits48(expected)) return;
+    cas_packed_ctx<Ccas>(
+        c, oldp,
+        pack_tagged(detail::next_tag(this, oldp), to_bits48(desired)));
+  }
+
+  /// Logged load returning the full packed word (lock implementation).
+  template <bool Ccas>
+  uint64_t load_packed_ctx(detail::thread_context* c) const {
+    uint64_t p = word_.load(std::memory_order_acquire);
+    if (c->log.block != nullptr) p = detail::commit64_ctx<Ccas>(c, p);
+    return p;
+  }
+
+  uint64_t load_packed() const {
+    detail::thread_context* c = detail::my_ctx();
+    return use_ccas() ? load_packed_ctx<true>(c) : load_packed_ctx<false>(c);
   }
 
   // --- Raw (unlogged) access: used by the lock implementation for the
@@ -85,14 +132,31 @@ class mutable_ {
   uint64_t read_raw_packed() const {
     return word_.load(std::memory_order_acquire);
   }
+  /// seq_cst read of the packed word: participates in the helped/unlock
+  /// hand-off protocol (lock.hpp), whose correctness argument runs through
+  /// the seq_cst total order instead of fences. Same code as an acquire
+  /// load on x86.
+  uint64_t read_raw_packed_sc() const {
+    return word_.load(std::memory_order_seq_cst);
+  }
+
   /// Tag-bumping raw CAS; announced so tag-wrap scans can see the expected
   /// word. Returns true if this call installed the new value.
-  bool cas_raw_packed(uint64_t expected_packed, T desired) {
-    return cas_packed(
-        expected_packed,
+  template <bool Ccas>
+  bool cas_raw_packed_ctx(detail::thread_context* c, uint64_t expected_packed,
+                          T desired) {
+    return cas_packed_ctx<Ccas>(
+        c, expected_packed,
         pack_tagged(detail::next_tag(this, expected_packed),
                     to_bits48(desired)));
   }
+
+  bool cas_raw_packed(uint64_t expected_packed, T desired) {
+    detail::thread_context* c = detail::my_ctx();
+    return use_ccas() ? cas_raw_packed_ctx<true>(c, expected_packed, desired)
+                      : cas_raw_packed_ctx<false>(c, expected_packed, desired);
+  }
+
   /// Plain release store (blocking mode only: no helpers exist).
   void store_raw(T v) {
     uint64_t oldp = word_.load(std::memory_order_acquire);
@@ -100,21 +164,20 @@ class mutable_ {
                 std::memory_order_release);
   }
 
-  /// Logged load returning the full packed word (lock implementation).
-  uint64_t load_packed() const {
-    uint64_t p = word_.load(std::memory_order_acquire);
-    if (in_thunk()) p = commit64(p);
-    return p;
-  }
-
  private:
-  bool cas_packed(uint64_t expected, uint64_t desired) {
-    if (use_ccas() &&
-        word_.load(std::memory_order_acquire) != expected)
-      return false;  // compare-and-compare-and-swap (§6)
-    detail::announce_guard g(this, expected);
+  template <bool Ccas>
+  bool cas_packed_ctx(detail::thread_context* c, uint64_t expected,
+                      uint64_t desired) {
+    if constexpr (Ccas) {
+      // compare-and-compare-and-swap (§6)
+      if (word_.load(std::memory_order_acquire) != expected) return false;
+    }
+    detail::announce_guard g(c, this, expected);
+    // seq_cst (not acq_rel) so lock-word CASes participate in the
+    // hand-off protocol's total order (lock.hpp); identical code on x86,
+    // where a locked RMW is a full barrier either way.
     return word_.compare_exchange_strong(expected, desired,
-                                         std::memory_order_acq_rel,
+                                         std::memory_order_seq_cst,
                                          std::memory_order_acquire);
   }
 
@@ -144,18 +207,27 @@ class alignas(16) mutable_dw {
     rep_.cnt = 1;
   }
 
-  T load() const { return from_bits(load_pair().val); }
+  T load() const {
+    detail::thread_context* c = detail::my_ctx();
+    uint64_t v = use_ccas() ? load_pair_ctx<true>(c).val
+                            : load_pair_ctx<false>(c).val;
+    return from_bits(v);
+  }
 
   void store(T v) {
-    rep pair = load_pair();
-    rep desired{to_bits(v), pair.cnt + 1};
-    cas_pair(pair, desired);
+    detail::thread_context* c = detail::my_ctx();
+    if (use_ccas())
+      store_ctx<true>(c, v);
+    else
+      store_ctx<false>(c, v);
   }
 
   void cam(T expected, T desired) {
-    rep pair = load_pair();
-    if (pair.val != to_bits(expected)) return;
-    cas_pair(pair, rep{to_bits(desired), pair.cnt + 1});
+    detail::thread_context* c = detail::my_ctx();
+    if (use_ccas())
+      cam_ctx<true>(c, expected, desired);
+    else
+      cam_ctx<false>(c, expected, desired);
   }
 
   mutable_dw& operator=(T v) {
@@ -168,6 +240,20 @@ class alignas(16) mutable_dw {
   }
 
  private:
+  template <bool Ccas>
+  void store_ctx(detail::thread_context* c, T v) {
+    rep pair = load_pair_ctx<Ccas>(c);
+    rep desired{to_bits(v), pair.cnt + 1};
+    cas_pair<Ccas>(pair, desired);
+  }
+
+  template <bool Ccas>
+  void cam_ctx(detail::thread_context* c, T expected, T desired) {
+    rep pair = load_pair_ctx<Ccas>(c);
+    if (pair.val != to_bits(expected)) return;
+    cas_pair<Ccas>(pair, rep{to_bits(desired), pair.cnt + 1});
+  }
+
   static uint64_t to_bits(T v) {
     uint64_t b = 0;
     __builtin_memcpy(&b, &v, sizeof(T));
@@ -184,22 +270,26 @@ class alignas(16) mutable_dw {
   /// torn read simply makes the subsequent CAS fail (which is only
   /// possible when another location's lock raced a pure reader — stores
   /// to this location cannot race by assumption).
-  rep load_pair() const {
-    uint64_t c = __atomic_load_n(&rep_.cnt, __ATOMIC_ACQUIRE);
+  template <bool Ccas>
+  rep load_pair_ctx(detail::thread_context* c) const {
+    uint64_t cnt = __atomic_load_n(&rep_.cnt, __ATOMIC_ACQUIRE);
     uint64_t v = __atomic_load_n(&rep_.val, __ATOMIC_ACQUIRE);
-    if (in_thunk()) {
+    if (c->log.block != nullptr) {
       // Counter fits in 63 bits; bit 127 stays free for the present bit.
-      u128 committed = commit_raw((static_cast<u128>(c) << 64) | v).first;
-      c = static_cast<uint64_t>(committed >> 64);
+      u128 committed =
+          detail::commit_raw_ctx<Ccas>(c, (static_cast<u128>(cnt) << 64) | v)
+              .first;
+      cnt = static_cast<uint64_t>(committed >> 64);
       v = static_cast<uint64_t>(committed);
     }
-    return rep{v, c};
+    return rep{v, cnt};
   }
 
+  template <bool Ccas>
   bool cas_pair(rep expected, rep desired) {
-    if (use_ccas()) {
-      uint64_t c = __atomic_load_n(&rep_.cnt, __ATOMIC_ACQUIRE);
-      if (c != expected.cnt) return false;
+    if constexpr (Ccas) {
+      uint64_t cnt = __atomic_load_n(&rep_.cnt, __ATOMIC_ACQUIRE);
+      if (cnt != expected.cnt) return false;
     }
     return __atomic_compare_exchange(&rep_, &expected, &desired,
                                      /*weak=*/false, __ATOMIC_ACQ_REL,

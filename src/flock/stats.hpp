@@ -1,13 +1,15 @@
 // stats.hpp — lightweight introspection counters for the helping
-// machinery. Per-thread relaxed counters (padded), aggregated on demand;
-// the hot-path cost is one thread-local increment. Used by benchmarks to
-// report helping rates and by tests to assert helping actually happened.
+// machinery. The counters live directly in the per-thread context
+// (thread_context.hpp), so the hot-path cost is one plain increment on a
+// structure that is already resident; this header provides the aggregate
+// view. Used by benchmarks to report helping rates and by tests to assert
+// helping actually happened.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
 #include "config.hpp"
+#include "thread_context.hpp"
 #include "threading.hpp"
 
 namespace flock {
@@ -19,34 +21,16 @@ struct stats_snapshot {
   uint64_t descriptors_reused = 0;   // fast-path pool reuse (never helped)
 };
 
-namespace detail {
-
-struct alignas(kCacheLine) stat_cell {
-  uint64_t created = 0;
-  uint64_t attempted = 0;
-  uint64_t ran = 0;
-  uint64_t reused = 0;
-};
-
-inline stat_cell* stat_cells() {
-  static stat_cell cells[kMaxThreads];
-  return cells;
-}
-
-inline stat_cell& my_stats() { return stat_cells()[thread_id()]; }
-
-}  // namespace detail
-
 /// Aggregate counters across all threads (monotonic since process start).
 inline stats_snapshot stats() {
   stats_snapshot s;
   const int bound = thread_id_bound();
   for (int i = 0; i < bound; i++) {
-    const detail::stat_cell& c = detail::stat_cells()[i];
-    s.descriptors_created += c.created;
-    s.helps_attempted += c.attempted;
-    s.helps_run += c.ran;
-    s.descriptors_reused += c.reused;
+    const detail::thread_context& c = detail::g_ctx[i];
+    s.descriptors_created += c.stat_created;
+    s.helps_attempted += c.stat_attempted;
+    s.helps_run += c.stat_ran;
+    s.descriptors_reused += c.stat_reused;
   }
   return s;
 }

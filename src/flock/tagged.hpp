@@ -1,14 +1,14 @@
 // tagged.hpp — 48-bit value + 16-bit tag packing and the announcement
-// array that makes 16-bit tag reuse safe (paper §6 "ABA", second
+// protocol that makes 16-bit tag reuse safe (paper §6 "ABA", second
 // optimization: "roughly it uses an announcement array to ensure that
 // wrapping around is safe — i.e., it never uses a tag that is announced").
 //
 // Protocol implemented here:
 //  * a helper that is about to CAS a compact mutable announces the
-//    (location, expected packed word) pair in its per-thread slot, with a
+//    (location, expected packed word) pair in its thread context, with a
 //    seq_cst fence, and clears the slot after the CAS;
-//  * a writer that wraps a location's 16-bit tag scans the announcement
-//    array and picks the next tag not announced for that location.
+//  * a writer that wraps a location's 16-bit tag scans the contexts and
+//    picks the next tag not announced for that location.
 //
 // Residual assumption (documented per DESIGN.md §5): an announcement that
 // races with a concurrent wrap scan is only dangerous if the location's
@@ -25,6 +25,7 @@
 #include <cstring>
 
 #include "config.hpp"
+#include "thread_context.hpp"
 #include "threading.hpp"
 
 namespace flock {
@@ -42,34 +43,38 @@ constexpr uint64_t val_of(uint64_t packed) { return packed & kValMask; }
 
 namespace detail {
 
-struct alignas(kCacheLine) announce_slot {
-  std::atomic<const void*> loc{nullptr};
-  std::atomic<uint64_t> packed{0};
-};
-
-inline announce_slot* announce_slots() {
-  static announce_slot slots[kMaxThreads];
-  return slots;
-}
-
 /// Announce an expected packed word for `loc` around a CAS. RAII so the
-/// slot is always cleared.
+/// slot is always cleared. The caller supplies its context so the hot
+/// path performs no TLS lookup of its own.
 class announce_guard {
  public:
-  announce_guard(const void* loc, uint64_t packed) {
-    slot_ = &announce_slots()[thread_id()];
-    slot_->packed.store(packed, std::memory_order_relaxed);
-    slot_->loc.store(loc, std::memory_order_relaxed);
+  announce_guard(thread_context* c, const void* loc, uint64_t packed)
+      : c_(c) {
+    c_->ann_packed.store(packed, std::memory_order_relaxed);
+#if defined(__x86_64__) || defined(__i386__)
+    // TSO: stores retire in order and the LOCK-prefixed CAS that every
+    // caller issues next cannot complete before prior stores are globally
+    // visible, so the announcement is ordered before the CAS without an
+    // explicit full barrier. (The compiler cannot sink the store past the
+    // CAS either: the CAS's release half must publish earlier writes.)
+    // This removes one mfence from every mutable store/CAM and from every
+    // lock acquire/release.
+    c_->ann_loc.store(loc, std::memory_order_release);
+#else
+    c_->ann_loc.store(loc, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
   }
+  announce_guard(const void* loc, uint64_t packed)
+      : announce_guard(my_ctx(), loc, packed) {}
   announce_guard(const announce_guard&) = delete;
   announce_guard& operator=(const announce_guard&) = delete;
   ~announce_guard() {
-    slot_->loc.store(nullptr, std::memory_order_release);
+    c_->ann_loc.store(nullptr, std::memory_order_release);
   }
 
  private:
-  announce_slot* slot_;
+  thread_context* c_;
 };
 
 /// Next tag for `loc`, given the current packed word. Fast path: +1. On
@@ -83,10 +88,10 @@ inline uint64_t next_tag(const void* loc, uint64_t cur_packed) {
   uint64_t banned[kMaxThreads];
   int nbanned = 0;
   const int bound = thread_id_bound();
-  announce_slot* slots = announce_slots();
   for (int i = 0; i < bound; i++) {
-    if (slots[i].loc.load(std::memory_order_acquire) == loc)
-      banned[nbanned++] = tag_of(slots[i].packed.load(std::memory_order_acquire));
+    if (g_ctx[i].ann_loc.load(std::memory_order_acquire) == loc)
+      banned[nbanned++] =
+          tag_of(g_ctx[i].ann_packed.load(std::memory_order_acquire));
   }
   for (t = 1;; t++) {  // at most kMaxThreads+1 iterations
     bool ok = true;

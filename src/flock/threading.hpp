@@ -5,78 +5,19 @@
 // use of the library and returned when the thread exits, so long-running
 // test binaries that spawn thousands of short-lived threads never exhaust
 // the id space.
+//
+// The id lives in the per-thread context (thread_context.hpp) together
+// with every other per-thread structure; these wrappers are the stable
+// public spelling.
 #pragma once
 
-#include <atomic>
-#include <cassert>
-#include <mutex>
-#include <vector>
-
 #include "config.hpp"
+#include "thread_context.hpp"
 
 namespace flock {
-namespace detail {
-
-class id_allocator {
- public:
-  static id_allocator& instance() {
-    static id_allocator a;
-    return a;
-  }
-
-  int acquire() {
-    std::lock_guard<std::mutex> g(mu_);
-    if (!free_.empty()) {
-      int id = free_.back();
-      free_.pop_back();
-      return id;
-    }
-    assert(next_ < kMaxThreads && "too many live threads");
-    return next_++;
-  }
-
-  void release(int id) {
-    std::lock_guard<std::mutex> g(mu_);
-    free_.push_back(id);
-  }
-
-  /// Upper bound (exclusive) on ids ever handed out; epoch scans use this
-  /// instead of kMaxThreads to stay cheap.
-  int high_water() const {
-    return next_hint_.load(std::memory_order_acquire);
-  }
-
-  void note_high_water(int n) {
-    int cur = next_hint_.load(std::memory_order_relaxed);
-    while (n > cur &&
-           !next_hint_.compare_exchange_weak(cur, n, std::memory_order_acq_rel)) {
-    }
-  }
-
- private:
-  id_allocator() = default;
-  std::mutex mu_;
-  std::vector<int> free_;
-  int next_ = 0;
-  std::atomic<int> next_hint_{0};
-};
-
-struct thread_registrar {
-  int id;
-  thread_registrar() {
-    id = id_allocator::instance().acquire();
-    id_allocator::instance().note_high_water(id + 1);
-  }
-  ~thread_registrar() { id_allocator::instance().release(id); }
-};
-
-}  // namespace detail
 
 /// Dense id of the calling thread in [0, kMaxThreads).
-inline int thread_id() noexcept {
-  thread_local detail::thread_registrar reg;
-  return reg.id;
-}
+inline int thread_id() noexcept { return detail::my_ctx()->id; }
 
 /// Exclusive upper bound on thread ids in use (for slot scans).
 inline int thread_id_bound() noexcept {

@@ -28,10 +28,15 @@ class write_once {
 
   void init(T v) { word_.store(to_bits48(v), std::memory_order_relaxed); }
 
-  /// Idempotent (logged) load.
+  /// Idempotent (logged) load. One context fetch; the commit core is
+  /// specialized on the ccas flag resolved here.
   T load() const {
+    detail::thread_context* c = detail::my_ctx();
     uint64_t b = word_.load(std::memory_order_acquire);
-    if (in_thunk()) b = commit64(b);
+    if (c->log.block != nullptr) {
+      b = use_ccas() ? detail::commit64_ctx<true>(c, b)
+                     : detail::commit64_ctx<false>(c, b);
+    }
     return from_bits48<T>(b);
   }
 

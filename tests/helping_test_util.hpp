@@ -1,0 +1,57 @@
+// helping_test_util.hpp — deterministic forced-helping scaffold shared by
+// the stats and hot-path tests.
+//
+// Stochastic contention (N threads hammering one lock) never observes a
+// held lock on small machines. Instead: an owner thread acquires the lock
+// and stalls *inside its own run* of the thunk — the spin is gated on
+// flock::thread_id(), which is not logged state, so all runs stay
+// log-identical — while a helper's run (different thread id) sails
+// through and completes the critical section. The caller's try_lock is
+// therefore guaranteed to find the lock held and take the help path.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "flock/flock.hpp"
+
+namespace helping_test {
+
+/// Runs one stalled-owner / helping-probe cycle on a fresh lock in
+/// lock-free mode. On return the owner's critical section was applied
+/// exactly once (counter == 1) and the calling thread attempted (and,
+/// because the helper's run skips the stall, completed) a help.
+inline uint64_t force_one_help() {
+  flock::lock l;
+  auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+  x->init(0);
+
+  std::atomic<bool> owner_installed{false};
+  std::atomic<bool> owner_may_finish{false};
+  std::thread owner([&] {
+    int owner_tid = flock::thread_id();
+    flock::with_epoch([&] {
+      return flock::try_lock(l, [&, x, owner_tid] {
+        uint64_t v = x->load();
+        owner_installed.store(true);
+        while (!owner_may_finish.load() &&
+               flock::thread_id() == owner_tid) {
+        }
+        x->store(v + 1);
+        return true;
+      });
+    });
+  });
+  while (!owner_installed.load()) {
+  }
+  // Lock is observably held: this must take the help path.
+  flock::with_epoch([&] { return flock::try_lock(l, [] { return true; }); });
+  owner_may_finish.store(true);
+  owner.join();
+
+  uint64_t final_count = x->read_raw();
+  flock::pool_delete(x);
+  return final_count;
+}
+
+}  // namespace helping_test
