@@ -15,8 +15,11 @@
 #include <memory>
 
 #include "ds/dlist.hpp"
+#include "ds/hashtable.hpp"
 #include "flock/flock.hpp"
 #include "harness.hpp"
+#include "workload/driver.hpp"
+#include "workload/zipf.hpp"
 
 namespace {
 
@@ -270,6 +273,41 @@ void emit_json_series() {
                                         });
                                       },
                                       iters));
+    flock::epoch_manager::instance().flush();
+  }
+  {
+    // Incremental-resize scenario: grow a 64-bucket-hinted hashtable
+    // through a 1M-key insert ramp, then compare mixed-workload
+    // throughput on the grown table against a correctly pre-sized one
+    // holding the same keys (the resize tax the serving path pays).
+    flock::set_blocking(false);
+    const uint64_t range =
+        static_cast<uint64_t>(bench::env_long("FLOCK_GROW_KEYS", 1000000));
+    const int threads =
+        static_cast<int>(bench::env_long("FLOCK_GROW_THREADS", 4));
+
+    flock_ds::hashtable<uint64_t, uint64_t, false> grown(64);
+    auto g = flock_workload::run_growth(grown, range, threads);
+    rep.add("ht_grow_insert_mops", g.mops);
+    rep.add("ht_grow_invariants_ok", grown.check_invariants() ? 1.0 : 0.0);
+    rep.add("ht_grow_final_buckets",
+            static_cast<double>(grown.bucket_count()));
+
+    flock_ds::hashtable<uint64_t, uint64_t, false> presized(range);
+    auto p = flock_workload::run_growth(presized, range, threads);
+    rep.add("ht_presized_insert_mops", p.mops);
+
+    flock_workload::zipf_distribution dist(range, 0.75);
+    flock_workload::run_config cfg;
+    cfg.threads = threads;
+    cfg.update_percent = 20;
+    cfg.millis = 300;
+    auto mg = flock_workload::run_mixed(grown, dist, cfg);
+    auto mp = flock_workload::run_mixed(presized, dist, cfg);
+    rep.add("ht_mixed_grown_mops", mg.mops);
+    rep.add("ht_mixed_presized_mops", mp.mops);
+    rep.add("ht_mixed_grown_over_presized",
+            mp.mops > 0 ? mg.mops / mp.mops : 0.0);
     flock::epoch_manager::instance().flush();
   }
   rep.write();

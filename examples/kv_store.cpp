@@ -24,7 +24,9 @@ int main(int argc, char** argv) {
 
   for (bool blocking : {true, false}) {
     flock::set_blocking(blocking);
-    flock_workload::hashtable_try kv(static_cast<std::size_t>(range));
+    // No capacity guess: the table starts at its 64-bucket floor and
+    // resizes itself while the prefill and the workload pour keys in.
+    flock_workload::hashtable_try kv;
     flock_workload::prefill_half(kv, range);
 
     flock_workload::run_config cfg;
@@ -35,13 +37,14 @@ int main(int argc, char** argv) {
 
     std::printf(
         "[%s] %.2f Mop/s  (%llu ops: %llu finds, %llu inserts, %llu removes; "
-        "%llu updates applied)  invariants=%s\n",
+        "%llu updates applied)  grown to %llu buckets  invariants=%s\n",
         blocking ? "blocking " : "lock-free", res.mops,
         static_cast<unsigned long long>(res.total_ops),
         static_cast<unsigned long long>(res.finds),
         static_cast<unsigned long long>(res.inserts),
         static_cast<unsigned long long>(res.removes),
         static_cast<unsigned long long>(res.successful_updates),
+        static_cast<unsigned long long>(kv.underlying().bucket_count()),
         kv.check_invariants() ? "ok" : "BROKEN");
   }
   flock::epoch_manager::instance().flush();

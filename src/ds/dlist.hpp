@@ -76,7 +76,10 @@ class dlist {
     return flock::with_epoch([&] {
       while (true) {
         link* next = find_link(k);
-        if (key_is(next, k)) return false;  // already there
+        // "Already there" needs the removed-flag test find() uses: a key
+        // mid-remove (flag set, unlink not yet visible) is absent; fall
+        // through and let the validation below force a retry.
+        if (key_is(next, k) && !next->removed.load()) return false;
         link* prev = next->prev.load();
         if (key_less(prev, k) &&
             acquire(prev->lck, [=] {
@@ -117,35 +120,42 @@ class dlist {
     });
   }
 
-  /// Quiescent audits. ---------------------------------------------------
+  /// Quiescent audits. Epoch-guarded (like find) so a concurrent remove
+  /// cannot reclaim a link mid-scan; exact only at quiescence. ------------
   std::size_t size() const {
-    std::size_t n = 0;
-    for (link* c = head_->next.read_raw(); c != tail_;
-         c = c->next.read_raw())
-      n++;
-    return n;
+    return flock::with_epoch([&] {
+      std::size_t n = 0;
+      for (link* c = head_->next.read_raw(); c != tail_;
+           c = c->next.read_raw())
+        n++;
+      return n;
+    });
   }
 
   /// Sorted; back pointers consistent; no removed nodes (quiescent only).
   bool check_invariants() const {
-    const link* p = head_;
-    for (link* c = head_->next.read_raw(); c != nullptr;
-         c = c->next.read_raw()) {
-      if (c->prev.read_raw() != p) return false;
-      if (c->sentinel == 0 && c->removed.read_raw()) return false;
-      if (p->sentinel == 0 && c->sentinel == 0 && !(p->k < c->k))
-        return false;
-      if (c == tail_) return true;  // reached the end cleanly
-      p = c;
-    }
-    return false;  // fell off without hitting tail
+    return flock::with_epoch([&] {
+      const link* p = head_;
+      for (link* c = head_->next.read_raw(); c != nullptr;
+           c = c->next.read_raw()) {
+        if (c->prev.read_raw() != p) return false;
+        if (c->sentinel == 0 && c->removed.read_raw()) return false;
+        if (p->sentinel == 0 && c->sentinel == 0 && !(p->k < c->k))
+          return false;
+        if (c == tail_) return true;  // reached the end cleanly
+        p = c;
+      }
+      return false;  // fell off without hitting tail
+    });
   }
 
   template <class F>
   void for_each(F&& f) const {
-    for (link* c = head_->next.read_raw(); c != tail_;
-         c = c->next.read_raw())
-      f(c->k, c->v);
+    flock::with_epoch([&] {
+      for (link* c = head_->next.read_raw(); c != tail_;
+           c = c->next.read_raw())
+        f(c->k, c->v);
+    });
   }
 
  private:

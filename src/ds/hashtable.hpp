@@ -1,11 +1,54 @@
 // hashtable.hpp — separate-chaining hash table (paper §7 "a separate
-// chaining hashtable"). Each bucket is a sorted lazylist-style chain with
-// per-predecessor fine-grained locks; the bucket array is sized at
-// construction (the paper's table does not resize either).
+// chaining hashtable") with incremental, non-blocking resizing built out
+// of the same lock-free locks.
+//
+// Layout: an epoch-protected `table` (bucket array + mask) hangs behind a
+// flock::mutable_ root pointer. Each bucket is a sorted chain of lock-free
+// nodes guarded by ONE lock on the bucket head; at load factor ~1 chains
+// hold a node or two, so bucket-grained locking costs no more than the
+// old per-predecessor scheme and gives migration a single point at which
+// a whole bucket can be frozen. Buckets carry only {chain, forwarded
+// flag, lock} and nodes only {chain, deleted flag, k, v} — no dead lock
+// word on every key.
+//
+// Resize protocol (forwarding marks in the spirit of Harris-style
+// migration; one bucket per lock-free-lock critical section):
+//  * Occupancy is tracked in sharded counters bumped by successful
+//    updates. When the count reaches the bucket count, an updater
+//    installs a 2x successor in `root->next`. Successors are only ever
+//    installed on the root table, so at most one resize is in flight and
+//    a successor's buckets cannot themselves forward while they are still
+//    receiving migrated chains.
+//  * Migration proceeds bucket-by-bucket. Migrating bucket i locks it
+//    and, inside that single critical section: copies the frozen chain
+//    into successor buckets i and i+n (the chain is sorted and the split
+//    keys one hash bit, so relative order — and therefore sortedness —
+//    is preserved), publishes each new chain with one store, retires the
+//    originals, and only then marks the old bucket "forwarded" (its
+//    write_once flag). Every step is idempotent, so helpers can replay
+//    the thunk safely.
+//  * Updaters re-validate the forwarded flag inside their own critical
+//    section (same lock), so a forwarded bucket is frozen forever; any
+//    operation that lands on one chases `table->next`. Updaters that
+//    find a resize in progress migrate their own bucket first (old
+//    tables only ever drain) plus a small batch claimed from a shared
+//    cursor — and keep helping while merely chasing, so the straggler
+//    tail cannot serialize back-to-back resizes.
+//  * Readers never lock and never help: chains are copied, not spliced,
+//    so a scan that raced a migration still sees the frozen pre-forward
+//    chain, and the forwarded flag is published only after the successor
+//    chains are in place (see find() for the ordering argument).
+//  * When the last bucket forwards, the winning migrator swings the root
+//    to the successor and retires the drained table through the epoch
+//    machinery (array-typed retire for the bucket array). Completion is
+//    also re-derivable from the forwarded flags themselves (see
+//    help_resize), so no single stalled thread can wedge the resize.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "flock/flock.hpp"
@@ -19,19 +62,58 @@ inline uint64_t splitmix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+template <class K, class V, bool Strict>
+class hashtable;
+
+template <class K, class V, bool Strict>
+bool try_move(hashtable<K, V, Strict>& from, hashtable<K, V, Strict>& to,
+              std::type_identity_t<K> k);
+
 template <class K, class V, bool Strict = false>
 class hashtable {
-  struct node {
+  struct node;
+
+  /// Fields shared by a bucket head and a chain node: the link that a
+  /// predecessor-of-cur may be either, and the freeze flag (a node's
+  /// "deleted", a bucket's "forwarded") that validation reads through the
+  /// same pointer.
+  struct chain_head {
     flock::mutable_<node*> next;
     flock::write_once<bool> removed;
-    flock::lock lck;
+  };
+
+  struct node : chain_head {
     const K k;
     const V v;
     node(K key, V val, node* nxt) : k(key), v(val) {
-      next.init(nxt);
-      removed.init(false);
+      this->next.init(nxt);
+      this->removed.init(false);
     }
   };
+
+  struct bucket : chain_head {
+    flock::lock lck;  // the bucket lock: every update to the chain and
+                      // the bucket's one migration run under it
+  };
+
+  struct table {
+    std::size_t mask = 0;                   // buckets - 1 (power of two)
+    bucket* buckets = nullptr;              // array_new<bucket>(mask + 1)
+    flock::mutable_<table*> next;           // successor during a resize
+    std::atomic<std::size_t> migrated{0};   // forwarded-bucket count
+    std::atomic<std::size_t> cursor{0};     // shared migration claim cursor
+    std::atomic<bool> grow_hint{false};     // an allocator is building `next`
+
+    std::size_t nbuckets() const { return mask + 1; }
+  };
+
+  struct alignas(flock::kCacheLine) counter_shard {
+    std::atomic<long long> n{0};
+  };
+
+  static constexpr std::size_t kMinBuckets = 64;
+  static constexpr int kCountShards = 32;  // power of two
+  static constexpr int kMigrateBatch = 8;  // buckets helped per update
 
   template <class F>
   static bool acquire(flock::lock& l, F&& f) {
@@ -42,50 +124,83 @@ class hashtable {
   }
 
  public:
-  /// `size_hint`: expected number of keys; bucket count is the next power
-  /// of two >= size_hint (load factor ~1).
-  explicit hashtable(std::size_t size_hint = 1 << 16) {
-    std::size_t b = 64;
+  /// `size_hint`: expected number of keys; the initial bucket count is the
+  /// next power of two >= size_hint (load factor ~1). The table now grows
+  /// on its own, so the hint is an optimization, not a capacity.
+  explicit hashtable(std::size_t size_hint = kMinBuckets) {
+    std::size_t b = kMinBuckets;
     while (b < size_hint) b <<= 1;
-    mask_ = b - 1;
-    heads_.resize(b);
-    for (auto& h : heads_) h = flock::pool_new<node>(K{}, V{}, nullptr);
+    root_.init(make_table(b));
   }
 
   ~hashtable() {
-    for (node* h : heads_) {
-      node* n = h;
-      while (n != nullptr) {
-        node* nxt = n->next.read_raw();
-        flock::pool_delete(n);
-        n = nxt;
+    // Quiescent teardown. Chains of forwarded buckets were already handed
+    // to the epoch machinery by their migration; only live chains and the
+    // tables themselves are freed here.
+    table* t = root_.read_raw();
+    while (t != nullptr) {
+      table* nxt = t->next.read_raw();
+      for (std::size_t i = 0; i <= t->mask; i++) {
+        bucket* s = &t->buckets[i];
+        if (s->removed.read_raw()) continue;
+        node* c = s->next.read_raw();
+        while (c != nullptr) {
+          node* cn = c->next.read_raw();
+          flock::pool_delete(c);
+          c = cn;
+        }
       }
+      free_table(t);
+      t = nxt;
     }
   }
 
   std::optional<V> find(K k) {
     return flock::with_epoch([&]() -> std::optional<V> {
-      node* cur = bucket(k)->next.load();
-      while (cur != nullptr && cur->k < k) cur = cur->next.load();
-      if (cur != nullptr && cur->k == k && !cur->removed.load())
-        return cur->v;
-      return {};
+      const table* t = root_.load();
+      while (true) {
+        const bucket* s = &t->buckets[index_in(t, k)];
+        if (!s->removed.load()) {
+          // Not forwarded when we looked. If a migration completes under
+          // the scan the chain is left frozen (migration copies, never
+          // splices), so whatever this scan observes is the bucket's
+          // authoritative pre-forward state and both hit and miss
+          // linearize within our interval; no re-check is needed. The
+          // flag is published only after the successor chains, so a set
+          // flag below always finds `next` installed.
+          node* cur = s->next.load();
+          while (cur != nullptr && cur->k < k) cur = cur->next.load();
+          if (cur != nullptr && cur->k == k && !cur->removed.load())
+            return cur->v;
+          return std::nullopt;
+        }
+        t = t->next.read_raw();  // forwarded => successor exists
+      }
     });
   }
 
   bool insert(K k, V v) {
     return flock::with_epoch([&] {
       while (true) {
-        auto [prev, cur] = search(k);
-        if (cur != nullptr && cur->k == k) return false;
-        if (acquire(prev->lck, [=] {
-              if (prev->removed.load()) return false;
+        bucket* s = locate_update(k);
+        auto [prev, cur] = search_from(s, k);
+        // "Already present" needs the same removed-flag test find() uses:
+        // a key mid-remove (flag set, unlink not yet visible) is absent.
+        // Falling through is fine — the critical section's prev->next
+        // validation fails against the completed unlink and we retry.
+        if (cur != nullptr && cur->k == k && !cur->removed.load())
+          return false;
+        if (acquire(s->lck, [=] {
+              if (s->removed.load()) return false;  // forwarded meanwhile
+              if (prev != s && prev->removed.load()) return false;
               if (prev->next.load() != cur) return false;
               node* n = flock::allocate<node>(k, v, cur);
               prev->next = n;
               return true;
-            }))
+            })) {
+          note_update(+1);
           return true;
+        }
       }
     });
   }
@@ -93,71 +208,112 @@ class hashtable {
   bool remove(K k) {
     return flock::with_epoch([&] {
       while (true) {
-        auto [prev, cur] = search(k);
+        bucket* s = locate_update(k);
+        auto [prev, cur] = search_from(s, k);
         if (cur == nullptr || cur->k != k) return false;
-        if (acquire(prev->lck, [=] {
-              return acquire(cur->lck, [=] {
-                if (prev->removed.load() || cur->removed.load())
-                  return false;
-                if (prev->next.load() != cur) return false;
-                cur->removed = true;
-                prev->next = cur->next.load();
-                flock::retire<node>(cur);
-                return true;
-              });
-            }))
+        if (acquire(s->lck, [=] {
+              if (s->removed.load()) return false;  // forwarded meanwhile
+              if (prev != s && prev->removed.load()) return false;
+              if (cur->removed.load()) return false;
+              if (prev->next.load() != cur) return false;
+              cur->removed = true;
+              prev->next = cur->next.load();
+              flock::retire<node>(cur);
+              return true;
+            })) {
+          note_update(-1);
           return true;
+        }
       }
     });
   }
 
+  /// Quiescent audits (epoch-guarded so concurrent retirement cannot free
+  /// a node mid-scan; counts are exact only at quiescence). -----------------
+
   std::size_t size() const {
-    std::size_t n = 0;
-    for (node* h : heads_)
-      for (node* c = h->next.read_raw(); c != nullptr;
-           c = c->next.read_raw())
-        n++;
-    return n;
+    return flock::with_epoch([&] {
+      std::size_t n = 0;
+      for_each_live_bucket([&](const table*, std::size_t, const bucket* s) {
+        for (node* c = s->next.read_raw(); c != nullptr;
+             c = c->next.read_raw())
+          n++;
+      });
+      return n;
+    });
   }
 
+  /// Sorted chains, no removed node reachable, and every key resident in
+  /// the bucket its hash selects in that table (cross-bucket corruption).
   bool check_invariants() const {
-    for (node* h : heads_) {
-      const node* prev = nullptr;
-      for (node* c = h->next.read_raw(); c != nullptr;
-           c = c->next.read_raw()) {
-        if (c->removed.read_raw()) return false;
-        if (prev != nullptr && !(prev->k < c->k)) return false;
-        // Every key must belong to this bucket.
-        if (bucket_index(c->k) != bucket_index(h->k) &&
-            h->next.read_raw() != nullptr) {
-          // head sentinel key is default-constructed; compare via chain
-          // membership instead: recompute from c's key.
+    return flock::with_epoch([&] {
+      bool ok = true;
+      for_each_live_bucket([&](const table* t, std::size_t i,
+                               const bucket* s) {
+        const node* prev = nullptr;
+        for (node* c = s->next.read_raw(); c != nullptr;
+             c = c->next.read_raw()) {
+          if (c->removed.read_raw()) ok = false;
+          if (prev != nullptr && !(prev->k < c->k)) ok = false;
+          if ((static_cast<std::size_t>(hash_of(c->k)) & t->mask) != i)
+            ok = false;  // key lives in a bucket its hash does not select
+          prev = c;
         }
-        prev = c;
-      }
-    }
-    return true;
+      });
+      return ok;
+    });
   }
 
-  std::size_t bucket_count() const { return heads_.size(); }
+  /// Bucket count of the newest table (the capacity the structure is
+  /// growing into during a resize).
+  std::size_t bucket_count() const {
+    return flock::with_epoch([&] { return newest_table()->nbuckets(); });
+  }
+
+  /// Number of keys that map to each bucket of the newest table (keys in
+  /// not-yet-migrated buckets are attributed to where they will land).
+  /// Test support for hash/occupancy-uniformity audits.
+  std::vector<std::size_t> bucket_occupancy() const {
+    return flock::with_epoch([&] {
+      const table* last = newest_table();
+      std::vector<std::size_t> occ(last->nbuckets(), 0);
+      for_each_live_bucket([&](const table*, std::size_t, const bucket* s) {
+        for (node* c = s->next.read_raw(); c != nullptr;
+             c = c->next.read_raw())
+          occ[static_cast<std::size_t>(hash_of(c->k)) & last->mask]++;
+      });
+      return occ;
+    });
+  }
 
   template <class F>
   void for_each(F&& f) const {
-    for (node* h : heads_)
-      for (node* c = h->next.read_raw(); c != nullptr;
-           c = c->next.read_raw())
-        f(c->k, c->v);
+    flock::with_epoch([&] {
+      for_each_live_bucket([&](const table*, std::size_t, const bucket* s) {
+        for (node* c = s->next.read_raw(); c != nullptr;
+             c = c->next.read_raw())
+          f(c->k, c->v);
+      });
+    });
   }
 
  private:
-  std::size_t bucket_index(K k) const {
-    return static_cast<std::size_t>(splitmix64(static_cast<uint64_t>(k))) &
-           mask_;
-  }
-  node* bucket(K k) const { return heads_[bucket_index(k)]; }
+  template <class K2, class V2, bool S2>
+  friend bool try_move(hashtable<K2, V2, S2>&, hashtable<K2, V2, S2>&,
+                       std::type_identity_t<K2>);
 
-  std::pair<node*, node*> search(K k) {
-    node* prev = bucket(k);
+  static uint64_t hash_of(K k) {
+    return splitmix64(static_cast<uint64_t>(k));
+  }
+  static std::size_t index_in(const table* t, K k) {
+    return static_cast<std::size_t>(hash_of(k)) & t->mask;
+  }
+
+  /// First chain position with key >= k and its predecessor (the bucket
+  /// head if none). The single point of truth for the walk that insert,
+  /// remove, and try_move validate against in their critical sections.
+  static std::pair<chain_head*, node*> search_from(bucket* s, K k) {
+    chain_head* prev = s;
     node* cur = prev->next.load();
     while (cur != nullptr && cur->k < k) {
       prev = cur;
@@ -166,8 +322,254 @@ class hashtable {
     return {prev, cur};
   }
 
-  std::size_t mask_;
-  std::vector<node*> heads_;
+  static table* make_table(std::size_t nbuckets) {
+    table* t = flock::pool_new<table>();
+    t->mask = nbuckets - 1;
+    t->buckets = flock::array_new<bucket>(nbuckets);
+    t->next.init(nullptr);
+    t->migrated.store(0, std::memory_order_relaxed);
+    t->cursor.store(0, std::memory_order_relaxed);
+    t->grow_hint.store(false, std::memory_order_relaxed);
+    return t;
+  }
+
+  static void free_table(table* t) {
+    flock::array_delete(t->buckets);
+    flock::pool_delete(t);
+  }
+
+  static void retire_table(table* t) {
+    flock::epoch_retire_array(t->buckets);
+    flock::epoch_retire(t);
+  }
+
+  /// The bucket the update for key k must lock: chases forwarded buckets,
+  /// draining a resize in progress along the way so the op lands in the
+  /// newest table. Caller must be inside with_epoch.
+  bucket* locate_update(K k) {
+    table* t = root_.load();
+    while (true) {
+      std::size_t i = index_in(t, k);
+      bucket* s = &t->buckets[i];
+      if (s->removed.read_raw()) {  // forwarded => successor exists
+        table* nxt = t->next.read_raw();
+        // Help even when merely passing through: if only updaters whose
+        // own bucket is still live helped, the drain rate would fall to
+        // zero exactly when the last stragglers remain (coupon-collector
+        // tail) and back-to-back resizes would serialize behind it.
+        help_resize(t, nxt);
+        t = nxt;
+        continue;
+      }
+      table* nxt = t->next.read_raw();
+      if (nxt == nullptr) return s;
+      // Resize in progress: forward our own bucket first (so old tables
+      // only ever drain), then help a small claimed batch, and re-check —
+      // a failed lock attempt means the holder is either the migrator or
+      // a completing updater, so just retry.
+      migrate_bucket(t, nxt, i);
+      help_resize(t, nxt);
+    }
+  }
+
+  /// Migrate bucket i of t into its two successor buckets. Returns after
+  /// the bucket is forwarded or the lock attempt failed.
+  void migrate_bucket(table* t, table* nt, std::size_t i) {
+    bucket* s = &t->buckets[i];
+    if (s->removed.read_raw()) return;  // already forwarded
+    bucket* lo = &nt->buckets[i];
+    bucket* hi = &nt->buckets[i + t->nbuckets()];
+    const uint64_t bit = t->nbuckets();  // hash bit the split keys on
+    bool did = acquire(s->lck, [=] {
+      if (s->removed.load()) return false;  // lost the race
+      // The chain is frozen: every update to this bucket takes this same
+      // lock. Logged loads keep replays of this thunk in lockstep, and
+      // idempotent allocation/stores/retires make helper replays safe.
+      // Copies are appended directly onto the successor buckets (the
+      // forward walk preserves sorted order, no side buffers): nothing
+      // can observe those chains until the forwarded flag below is set,
+      // because successor bucket traffic only begins at that flag.
+      chain_head* tail[2] = {lo, hi};
+      for (node* c = s->next.load(); c != nullptr; c = c->next.load()) {
+        chain_head*& tl = tail[(hash_of(c->k) & bit) ? 1 : 0];
+        node* copy = flock::allocate<node>(c->k, c->v, nullptr);
+        tl->next = copy;
+        tl = copy;
+        // Retire the original; epoch-protected readers may still be
+        // scanning the frozen chain.
+        flock::retire<node>(c);
+      }
+      s->removed = true;  // forwarded: published after the copies are live
+      return true;
+    });
+    // Exactly one acquire() returns true per bucket (all later critical
+    // sections fail the forwarded check), so the count is exact.
+    if (did && t->migrated.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                   t->nbuckets())
+      advance_root();
+  }
+
+  /// Claim and migrate a small batch of buckets (the cursor wraps, so
+  /// stragglers whose first lock attempt failed are retried by later
+  /// helpers and a resize finishes under any traffic).
+  void help_resize(table* t, table* nt) {
+    const std::size_t n = t->nbuckets();
+    for (int j = 0; j < kMigrateBatch; j++) {
+      if (t->migrated.load(std::memory_order_acquire) >= n) {
+        advance_root();  // idempotent; rescues a swing whose winner stalled
+        return;
+      }
+      std::size_t claimed = t->cursor.fetch_add(1, std::memory_order_relaxed);
+      migrate_bucket(t, nt, claimed & (n - 1));
+      // Completion recovery: the fast-path `migrated` count is bumped by
+      // each bucket's winning migrator outside its critical section, so a
+      // winner stalled (or lost) between forwarding and counting would
+      // leave it short. Once per cursor wrap — every bucket has been
+      // attempted at least once — re-derive completion from the monotone
+      // forwarded flags themselves, so ANY thread can finish the resize.
+      if (claimed >= n && (claimed & (n - 1)) == 0) {
+        std::size_t fwd = 0;
+        for (std::size_t i = 0; i < n; i++)
+          if (t->buckets[i].removed.read_raw()) fwd++;
+        if (fwd == n) {
+          t->migrated.store(n, std::memory_order_release);
+          advance_root();
+        }
+      }
+    }
+  }
+
+  /// Swing the root past fully-drained tables; the winning CAS retires
+  /// the old table (bucket array and all) through the epoch machinery.
+  void advance_root() {
+    while (true) {
+      uint64_t p = root_.read_raw_packed();
+      table* r = flock::from_bits48<table*>(flock::val_of(p));
+      if (r->next.read_raw() == nullptr ||
+          r->migrated.load(std::memory_order_acquire) < r->nbuckets())
+        return;
+      if (root_.cas_raw_packed(p, r->next.read_raw())) retire_table(r);
+    }
+  }
+
+  /// Tail of the table chain: the capacity being grown into. Caller must
+  /// be inside with_epoch.
+  const table* newest_table() const {
+    const table* t = root_.read_raw();
+    for (const table* nxt = t->next.read_raw(); nxt != nullptr;
+         nxt = t->next.read_raw())
+      t = nxt;
+    return t;
+  }
+
+  /// Visit every not-yet-forwarded bucket across the table chain (each
+  /// resident key is reachable through exactly one such bucket). Caller
+  /// must be inside with_epoch.
+  template <class F>
+  void for_each_live_bucket(F&& f) const {
+    for (const table* t = root_.read_raw(); t != nullptr;
+         t = t->next.read_raw()) {
+      for (std::size_t i = 0; i <= t->mask; i++) {
+        const bucket* s = &t->buckets[i];
+        if (!s->removed.read_raw()) f(t, i, s);
+      }
+    }
+  }
+
+  /// Occupancy accounting: sharded counters bumped by successful updates
+  /// (outside the critical section — exactly one lock acquisition returns
+  /// true per applied update). Inserts periodically sum the shards and
+  /// trigger a grow. Must be called inside with_epoch (the trigger reads
+  /// epoch-protected tables).
+  void note_update(int delta) {
+    auto& shard = count_[flock::thread_id() & (kCountShards - 1)].n;
+    long long v = shard.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (delta > 0 && (v & 15) == 0) maybe_grow();
+  }
+
+  long long approx_count() const {
+    long long s = 0;
+    for (const counter_shard& sh : count_)
+      s += sh.n.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void maybe_grow() {
+    table* t = root_.read_raw();
+    if (t->next.read_raw() != nullptr) return;  // resize already in flight
+    if (approx_count() < static_cast<long long>(t->nbuckets())) return;
+    // Duplicate-allocation damping: building a large successor takes long
+    // enough that concurrent triggers would each construct (and all but
+    // one discard) a full 2x bucket array. The first trigger sets the
+    // hint; later ones wait a bounded spin for the install instead of
+    // allocating. The wait is bounded, so a stalled allocator cannot
+    // wedge growth — after it, the duplicate-and-discard race below is
+    // still the lock-free fallback, just no longer the common case.
+    if (t->grow_hint.exchange(true, std::memory_order_acq_rel)) {
+      for (int i = 0; i < 4096 && t->next.read_raw() == nullptr; i++)
+        flock::detail::cpu_pause();
+      if (t->next.read_raw() != nullptr) return;
+    }
+    table* nt = make_table(t->nbuckets() * 2);
+    uint64_t p = t->next.read_raw_packed();
+    if (flock::val_of(p) != 0 || !t->next.cas_raw_packed(p, nt))
+      free_table(nt);  // lost the install race; never published
+  }
+
+  flock::mutable_<table*> root_;
+  counter_shard count_[kCountShards];
 };
+
+/// Atomically move key `k` (and its value) between two hashtables, the
+/// paper's cross-structure motivation applied to the resizable table: both
+/// splices happen inside one validated nest of bucket critical sections
+/// (ordered by bucket address, an acyclic order), so no other *updater*
+/// can interleave between them — and because the critical sections
+/// re-validate the forwarded flags, the move composes with an in-flight
+/// resize on either side. Returns false — changing nothing — if k is
+/// absent in `from`, already present in `to`, or any lock/validation
+/// fails transiently (callers retry, e.g. via move_retry in ds/move.hpp).
+template <class K, class V, bool Strict>
+bool try_move(hashtable<K, V, Strict>& from, hashtable<K, V, Strict>& to,
+              std::type_identity_t<K> k) {
+  using ht = hashtable<K, V, Strict>;
+  using node = typename ht::node;
+  if (&from == &to) return false;
+  return flock::with_epoch([&] {
+    auto* fs = from.locate_update(k);
+    auto [fprev, fcur] = ht::search_from(fs, k);
+    if (fcur == nullptr || fcur->k != k) return false;  // not in source
+    auto* ts = to.locate_update(k);
+    auto [tprev, tcur] = ht::search_from(ts, k);
+    // Mid-remove keys (flag set, unlink pending) count as absent, like
+    // find(); the critical section's validation forces a retry for them.
+    if (tcur != nullptr && tcur->k == k && !tcur->removed.load())
+      return false;  // already in dest
+    auto splice = [=] {
+      if (fs->removed.load() || ts->removed.load()) return false;
+      if (fprev != fs && fprev->removed.load()) return false;
+      if (fcur->removed.load()) return false;
+      if (fprev->next.load() != fcur) return false;
+      if (tprev != ts && tprev->removed.load()) return false;
+      if (tprev->next.load() != tcur) return false;
+      node* moved = flock::allocate<node>(fcur->k, fcur->v, tcur);
+      tprev->next = moved;
+      fcur->removed = true;
+      fprev->next = fcur->next.load();
+      flock::retire<node>(fcur);
+      return true;
+    };
+    bool ok;
+    if (reinterpret_cast<uintptr_t>(fs) < reinterpret_cast<uintptr_t>(ts))
+      ok = ht::acquire(fs->lck, [=] { return ht::acquire(ts->lck, splice); });
+    else
+      ok = ht::acquire(ts->lck, [=] { return ht::acquire(fs->lck, splice); });
+    if (ok) {
+      from.note_update(-1);
+      to.note_update(+1);
+    }
+    return ok;
+  });
+}
 
 }  // namespace flock_ds

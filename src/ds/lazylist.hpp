@@ -72,7 +72,12 @@ class lazylist {
     return flock::with_epoch([&] {
       while (true) {
         auto [prev, cur] = search(k);
-        if (cur != nullptr && cur->k == k) return false;
+        // "Already present" needs the removed-flag test find() uses: a
+        // key mid-remove (flag set, unlink not yet visible) is absent.
+        // Falling through is fine — the validation below fails against
+        // the completed unlink and we retry.
+        if (cur != nullptr && cur->k == k && !cur->removed.load())
+          return false;
         if (acquire(prev->lck, [=] {
               if (prev->removed.load()) return false;      // validate
               if (prev->next.load() != cur) return false;  // validate
@@ -107,32 +112,40 @@ class lazylist {
     });
   }
 
-  /// Quiescent audit helpers for tests. --------------------------------
+  /// Quiescent audit helpers for tests. Epoch-guarded (like find) so a
+  /// concurrent remove cannot reclaim a node mid-scan; counts are exact
+  /// only at quiescence. --------------------------------------------------
   std::size_t size() const {
-    std::size_t n = 0;
-    for (node* c = head_->next.read_raw(); c != nullptr;
-         c = c->next.read_raw())
-      n++;
-    return n;
+    return flock::with_epoch([&] {
+      std::size_t n = 0;
+      for (node* c = head_->next.read_raw(); c != nullptr;
+           c = c->next.read_raw())
+        n++;
+      return n;
+    });
   }
 
   /// Sorted order, no removed nodes reachable (quiescent only).
   bool check_invariants() const {
-    const node* prev = nullptr;
-    for (node* c = head_->next.read_raw(); c != nullptr;
-         c = c->next.read_raw()) {
-      if (c->removed.read_raw()) return false;
-      if (prev != nullptr && !(prev->k < c->k)) return false;
-      prev = c;
-    }
-    return true;
+    return flock::with_epoch([&] {
+      const node* prev = nullptr;
+      for (node* c = head_->next.read_raw(); c != nullptr;
+           c = c->next.read_raw()) {
+        if (c->removed.read_raw()) return false;
+        if (prev != nullptr && !(prev->k < c->k)) return false;
+        prev = c;
+      }
+      return true;
+    });
   }
 
   template <class F>
   void for_each(F&& f) const {
-    for (node* c = head_->next.read_raw(); c != nullptr;
-         c = c->next.read_raw())
-      f(c->k, c->v);
+    flock::with_epoch([&] {
+      for (node* c = head_->next.read_raw(); c != nullptr;
+           c = c->next.read_raw())
+        f(c->k, c->v);
+    });
   }
 
  private:

@@ -11,6 +11,7 @@
 #include <type_traits>
 
 #include "flock/flock.hpp"
+#include "hashtable.hpp"  // hashtable try_move overload (defined there)
 #include "lazylist.hpp"
 
 namespace flock_ds {
@@ -35,7 +36,10 @@ bool try_move(lazylist<K, V, Strict>& from, lazylist<K, V, Strict>& to,
     auto [fprev, fcur] = from.search_for(k);
     if (fcur == nullptr || fcur->k != k) return false;  // not in source
     auto [tprev, tcur] = to.search_for(k);
-    if (tcur != nullptr && tcur->k == k) return false;  // already in dest
+    // Mid-remove keys (flag set, unlink pending) count as absent, like
+    // find(); the validation in the critical section forces a retry.
+    if (tcur != nullptr && tcur->k == k && !tcur->removed.load())
+      return false;  // already in dest
     // Innermost critical section: validates both neighborhoods and does
     // both splices. Runs under fprev -> fcur -> tprev (or tprev first if
     // `to` orders before `from`).
@@ -76,9 +80,10 @@ bool try_move(lazylist<K, V, Strict>& from, lazylist<K, V, Strict>& to,
 
 /// Loop try_move until it either moves the key or definitively cannot
 /// (absent in source / present in destination under a validated check).
-template <class K, class V, bool Strict>
-bool move_retry(lazylist<K, V, Strict>& from, lazylist<K, V, Strict>& to,
-                std::type_identity_t<K> k, int max_attempts = 1 << 20) {
+/// Works for any pair of same-type containers with a try_move overload
+/// (lazylist above, hashtable in ds/hashtable.hpp) via ADL.
+template <class C, class Key>
+bool move_retry(C& from, C& to, Key k, int max_attempts = 1 << 20) {
   for (int i = 0; i < max_attempts; i++) {
     if (try_move(from, to, k)) return true;
     // Definitive misses: re-check quiescently-enough via plain finds.

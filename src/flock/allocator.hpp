@@ -16,6 +16,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdlib>
 #include <new>
@@ -150,7 +151,74 @@ void pool_delete_ctx(thread_context* c, T* p) {
   pool_for<T>::deallocate(c, p);
 }
 
+// --- variable-length arrays ------------------------------------------------
+//
+// Pools hand out fixed-size blocks, so variable-length payloads (e.g. a
+// hashtable's bucket array) go through a sized-header allocation instead.
+// The length travels in a header in front of the array, which is what lets
+// an array be retired through the epoch machinery with a plain
+// function-pointer deleter (retire() carries no size argument).
+
+inline std::atomic<long long> g_arrays_outstanding{0};
+
+template <class T>
+struct array_layout {
+  static constexpr std::size_t kAlign =
+      alignof(T) < alignof(std::max_align_t) ? alignof(std::max_align_t)
+                                             : alignof(T);
+  static constexpr std::size_t kHeader =
+      (sizeof(std::size_t) + kAlign - 1) / kAlign * kAlign;
+
+  static std::size_t& count_of(T* base) {
+    return *reinterpret_cast<std::size_t*>(reinterpret_cast<char*>(base) -
+                                           kHeader);
+  }
+};
+
 }  // namespace detail
+
+/// Allocate a default-constructed T[n] whose length is recorded alongside
+/// it, so it can be deleted (or epoch-retired) from the pointer alone.
+template <class T>
+T* array_new(std::size_t n) {
+  using L = detail::array_layout<T>;
+  void* mem =
+      ::operator new(L::kHeader + n * sizeof(T), std::align_val_t{L::kAlign});
+  T* base = reinterpret_cast<T*>(static_cast<char*>(mem) + L::kHeader);
+  L::count_of(base) = n;
+  for (std::size_t i = 0; i < n; i++) ::new (static_cast<void*>(base + i)) T();
+  detail::g_arrays_outstanding.fetch_add(1, std::memory_order_relaxed);
+  return base;
+}
+
+/// Length recorded by array_new (for audits).
+template <class T>
+std::size_t array_length(T* p) {
+  return detail::array_layout<T>::count_of(p);
+}
+
+/// Destroy and free an array_new<T>'d array.
+template <class T>
+void array_delete(T* p) {
+  using L = detail::array_layout<T>;
+  const std::size_t n = L::count_of(p);
+  for (std::size_t i = n; i > 0; i--) p[i - 1].~T();
+  ::operator delete(static_cast<void*>(reinterpret_cast<char*>(p) - L::kHeader),
+                    std::align_val_t{L::kAlign});
+  detail::g_arrays_outstanding.fetch_sub(1, std::memory_order_relaxed);
+}
+
+/// Type-erased array deleter usable as a plain function pointer (epoch
+/// retire).
+template <class T>
+void array_delete_erased(void* p) {
+  array_delete(static_cast<T*>(p));
+}
+
+/// Live array_new arrays across all types (leak accounting in tests).
+inline long long arrays_outstanding() {
+  return detail::g_arrays_outstanding.load(std::memory_order_acquire);
+}
 
 /// Construct a T from a per-thread pool.
 template <class T, class... Args>

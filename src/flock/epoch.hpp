@@ -274,6 +274,14 @@ inline void epoch_retire(T* p) {
   epoch_manager::instance().retire(p, &pool_delete_erased<T>);
 }
 
+/// Epoch-deferred reclamation of an array_new<T>'d array (the length
+/// travels in the array header, so the plain function-pointer deleter the
+/// retire queue stores is enough).
+template <class T>
+inline void epoch_retire_array(T* p) {
+  epoch_manager::instance().retire(p, &array_delete_erased<T>);
+}
+
 namespace detail {
 /// Context-threaded spelling for hot paths that already hold a context.
 template <class T>

@@ -32,9 +32,22 @@ struct run_result {
   double seconds = 0;
 };
 
+/// Deterministic membership predicate for prefill_half: selects ~half the
+/// keys, so verification code can recompute membership.
+///
+/// The selection hash is re-seeded (hashed twice with a salt), NOT
+/// `splitmix64(k) & 1`: the hashtable's bucket index is
+/// `splitmix64(k) & mask`, whose low bit is the same bit — selecting on it
+/// put every prefilled key in an odd-indexed bucket, leaving half the
+/// table empty and doubling measured chain lengths. Any structure that
+/// hashes its keys with the same function would alias the same way, so
+/// the selection must come from an independent hash.
+inline bool prefill_selects(uint64_t k) {
+  return (splitmix64(splitmix64(k) ^ 0x5851f42d4c957f2dULL) & 1) != 0;
+}
+
 /// Prefill with ~half the keys of [1, range] using all hardware threads
-/// (the half is the deterministic subset hash(k)&1, so verification code
-/// can recompute membership).
+/// (the half is the deterministic subset prefill_selects(k)).
 template <class Set>
 void prefill_half(Set& set, uint64_t range, int threads = 0) {
   if (threads <= 0)
@@ -44,11 +57,44 @@ void prefill_half(Set& set, uint64_t range, int threads = 0) {
     ts.emplace_back([&, t] {
       for (uint64_t k = 1 + static_cast<uint64_t>(t); k <= range;
            k += static_cast<uint64_t>(threads)) {
-        if (splitmix64(k) & 1) set.insert(k, k);
+        if (prefill_selects(k)) set.insert(k, k);
       }
     });
   }
   for (auto& th : ts) th.join();
+}
+
+/// Growth-phase workload: insert every key of [1, range] from `threads`
+/// threads into a (typically much smaller-hinted) structure and time it —
+/// the insert-heavy ramp a freshly deployed serving instance sees. Returns
+/// the usual run_result (ops = range, all inserts).
+template <class Set>
+run_result run_growth(Set& set, uint64_t range, int threads = 0) {
+  if (threads <= 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  std::atomic<uint64_t> applied{0};
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; t++) {
+    ts.emplace_back([&, t] {
+      uint64_t mine = 0;
+      for (uint64_t k = 1 + static_cast<uint64_t>(t); k <= range;
+           k += static_cast<uint64_t>(threads))
+        if (set.insert(k, k)) mine++;
+      applied.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : ts) th.join();
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  run_result res;
+  res.seconds = secs;
+  res.total_ops = range;
+  res.inserts = range;
+  res.successful_updates = applied.load();
+  res.mops = static_cast<double>(range) / secs / 1e6;
+  return res;
 }
 
 /// Run the §8 mixed workload against any set adapter.

@@ -34,8 +34,15 @@ class rng64 {
     s_ ^= s_ << 17;
     return s_;
   }
-  /// Uniform in [0, n)
-  uint64_t next(uint64_t n) { return next() % n; }
+  /// Uniform in [0, n): Lemire's multiply-shift reduction. Modulo
+  /// reduction biases low values for ranges that don't divide 2^64
+  /// (noticeably so for the large non-power-of-two key ranges the
+  /// uniform-alpha workloads draw from); the multiply-shift map spreads
+  /// the bias evenly across the range instead (residual bias < n/2^64).
+  uint64_t next(uint64_t n) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
   double next_double() {  // [0,1)
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }

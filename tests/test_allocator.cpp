@@ -30,6 +30,32 @@ TEST(Allocator, ConstructsAndRecycles) {
   flock::pool_delete(q);
 }
 
+TEST(Allocator, ArrayNewRecordsLengthAndBalances) {
+  long long base = flock::arrays_outstanding();
+  struct elt {
+    uint64_t v = 7;  // default ctor must run for every element
+  };
+  elt* a = flock::array_new<elt>(1000);
+  EXPECT_EQ(flock::array_length(a), 1000u);
+  EXPECT_EQ(flock::arrays_outstanding(), base + 1);
+  for (std::size_t i = 0; i < 1000; i++) EXPECT_EQ(a[i].v, 7u);
+  flock::array_delete(a);
+  EXPECT_EQ(flock::arrays_outstanding(), base);
+}
+
+TEST(Allocator, ArrayEpochRetireRunsElementDtors) {
+  static std::atomic<int> dtors{0};
+  struct counted {
+    ~counted() { dtors.fetch_add(1); }
+  };
+  long long base = flock::arrays_outstanding();
+  counted* a = flock::array_new<counted>(64);
+  flock::with_epoch([&] { flock::epoch_retire_array(a); });
+  flock::epoch_manager::instance().flush();
+  EXPECT_EQ(dtors.load(), 64);
+  EXPECT_EQ(flock::arrays_outstanding(), base);
+}
+
 TEST(Allocator, DistinctLiveObjects) {
   std::set<payload*> live;
   for (int i = 0; i < 1000; i++)

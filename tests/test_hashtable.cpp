@@ -21,13 +21,15 @@ TEST_P(HashtableTest, Oversubscribed) {
   set_test::oversubscribed<flock_workload::hashtable_try>();
 }
 
-TEST_P(HashtableTest, TinyTableLongChains) {
-  // 64 buckets (the minimum) with 4k keys: long chains, heavy per-chain
-  // lock contention.
+TEST_P(HashtableTest, TinyTableGrowsUnderOracle) {
+  // 64 buckets (the minimum) with 4k keys: the oracle's inserts push the
+  // occupancy past the load-factor-1 threshold repeatedly, so this runs
+  // the whole incremental-resize machinery under an exactness oracle.
   using ht = flock_ds::hashtable<uint64_t, uint64_t, false>;
   flock_workload::set_adapter<ht> s(std::size_t{1});
   EXPECT_EQ(s.underlying().bucket_count(), 64u);
   set_test::sequential_oracle(s, 4096, 20000, 3);
+  EXPECT_GT(s.underlying().bucket_count(), 64u) << "table never grew";
 }
 
 TEST_P(HashtableTest, ChainsStaySorted) {
@@ -35,6 +37,9 @@ TEST_P(HashtableTest, ChainsStaySorted) {
   for (uint64_t k = 1; k <= 5000; k++) s.insert(k, k);
   EXPECT_TRUE(s.check_invariants());
   EXPECT_EQ(s.size(), 5000u);
+  // Default-constructed tables start at the 64-bucket floor and must have
+  // resized several times to hold 5000 keys at load factor ~1.
+  EXPECT_GE(s.underlying().bucket_count(), 4096u);
 }
 
 TEST_P(HashtableTest, StrictLockVariant) {

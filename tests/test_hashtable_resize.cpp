@@ -1,0 +1,220 @@
+// Incremental hashtable resizing under concurrency: growth stress with
+// invariant audits, forwarded-bucket reads racing the migration, and
+// cross-table try_move while one side is mid-resize — in both lock modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "ds/move.hpp"
+#include "workload/driver.hpp"
+#include "workload/set_adapter.hpp"
+
+namespace {
+
+using ht_try = flock_ds::hashtable<uint64_t, uint64_t, false>;
+using ht_strict = flock_ds::hashtable<uint64_t, uint64_t, true>;
+
+class HashtableResizeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { flock::set_blocking(GetParam()); }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+TEST_P(HashtableResizeTest, SingleThreadGrowKeepsEverything) {
+  ht_try t(64);
+  const uint64_t n = 20000;
+  for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.insert(k, k * 3));
+  EXPECT_GT(t.bucket_count(), 64u);
+  EXPECT_EQ(t.size(), n);
+  EXPECT_TRUE(t.check_invariants());
+  for (uint64_t k = 1; k <= n; k++) {
+    auto v = t.find(k);
+    ASSERT_TRUE(v.has_value()) << "lost key " << k << " during growth";
+    ASSERT_EQ(*v, k * 3);
+  }
+  // Shrink-less but removable: deleting half must survive the multi-table
+  // layout (some keys still live in not-yet-forwarded buckets).
+  for (uint64_t k = 1; k <= n; k += 2) ASSERT_TRUE(t.remove(k));
+  EXPECT_EQ(t.size(), n / 2);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST_P(HashtableResizeTest, ConcurrentGrowthStress) {
+  // range >> size_hint: a growth-phase workload from the 64-bucket floor.
+  ht_try t(64);
+  const uint64_t range = 1 << 18;
+  auto res = flock_workload::run_growth(t, range, 8);
+  EXPECT_EQ(res.successful_updates, range);
+  EXPECT_EQ(t.size(), range);
+  EXPECT_GE(t.bucket_count(), range / 2) << "table failed to keep growing";
+  EXPECT_TRUE(t.check_invariants());
+  // Sampled membership sweep (the full sweep lives in the single-thread
+  // test; here the interesting part was the contention).
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; i++) {
+    uint64_t k = rng() % range + 1;
+    auto v = t.find(k);
+    ASSERT_TRUE(v.has_value()) << "lost key " << k;
+    ASSERT_EQ(*v, k);
+  }
+}
+
+TEST_P(HashtableResizeTest, StrictLockVariantGrows) {
+  ht_strict t(64);
+  auto res = flock_workload::run_growth(t, 1 << 15, 8);
+  EXPECT_EQ(res.successful_updates, static_cast<uint64_t>(1 << 15));
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(1 << 15));
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST_P(HashtableResizeTest, ForwardedReadsRaceMigration) {
+  // Writers publish a per-writer watermark after each insert; readers
+  // continuously pick keys at or below a watermark and must always find
+  // them — including while the bucket holding them is being forwarded.
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 40000;
+  ht_try t(64);
+  std::atomic<uint64_t> watermark[kWriters];
+  for (auto& w : watermark) w.store(0);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> ts;
+  for (int w = 0; w < kWriters; w++) {
+    ts.emplace_back([&, w] {
+      // Writer w owns keys w+1, w+1+kWriters, ... (1-based, disjoint).
+      for (uint64_t i = 0; i < kPerWriter; i++) {
+        uint64_t k = 1 + static_cast<uint64_t>(w) + i * kWriters;
+        ASSERT_TRUE(t.insert(k, k * 7));
+        watermark[w].store(i + 1, std::memory_order_release);
+      }
+    });
+  }
+  for (int r = 0; r < 4; r++) {
+    ts.emplace_back([&, r] {
+      std::mt19937_64 rng(static_cast<uint64_t>(r) * 77 + 3);
+      while (!done.load(std::memory_order_relaxed)) {
+        int w = static_cast<int>(rng() % kWriters);
+        uint64_t n = watermark[w].load(std::memory_order_acquire);
+        if (n == 0) continue;
+        uint64_t i = rng() % n;
+        uint64_t k = 1 + static_cast<uint64_t>(w) + i * kWriters;
+        auto v = t.find(k);
+        ASSERT_TRUE(v.has_value()) << "published key " << k << " unreadable";
+        ASSERT_EQ(*v, k * 7);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; w++) ts[static_cast<size_t>(w)].join();
+  done.store(true);
+  for (size_t i = kWriters; i < ts.size(); i++) ts[i].join();
+
+  EXPECT_EQ(t.size(), kWriters * kPerWriter);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST_P(HashtableResizeTest, MoveAcrossTablesMidResize) {
+  // A fixed population shuttles between two hashtables while grower
+  // threads pump disjoint keys into both sides to keep resizes in flight;
+  // every shuttled key must stay in exactly one table with its value.
+  constexpr uint64_t kKeys = 128;
+  ht_try a(64), b(64);
+  for (uint64_t k = 1; k <= kKeys; k++) ASSERT_TRUE(a.insert(k, k * 7));
+
+  constexpr uint64_t kGrow = 60000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> ts;
+  for (int m = 0; m < 4; m++) {
+    ts.emplace_back([&, m] {
+      std::mt19937_64 rng(static_cast<uint64_t>(m) * 13 + 5);
+      for (int i = 0; i < 20000; i++) {
+        uint64_t k = rng() % kKeys + 1;
+        if (rng() & 1)
+          flock_ds::try_move(a, b, k);
+        else
+          flock_ds::try_move(b, a, k);
+      }
+    });
+  }
+  // Growers force both tables through several doublings mid-shuttle.
+  ts.emplace_back([&] {
+    for (uint64_t k = 1; k <= kGrow; k++) a.insert(1000000 + k, k);
+  });
+  ts.emplace_back([&] {
+    for (uint64_t k = 1; k <= kGrow; k++) b.insert(2000000 + k, k);
+  });
+  for (int r = 0; r < 2; r++) {
+    ts.emplace_back([&, r] {
+      std::mt19937_64 rng(static_cast<uint64_t>(r) + 99);
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t k = rng() % kKeys + 1;
+        auto va = a.find(k);
+        auto vb = b.find(k);
+        if (va.has_value()) ASSERT_EQ(*va, k * 7);
+        if (vb.has_value()) ASSERT_EQ(*vb, k * 7);
+      }
+    });
+  }
+  for (size_t i = 0; i < 6; i++) ts[i].join();
+  stop.store(true);
+  for (size_t i = 6; i < ts.size(); i++) ts[i].join();
+
+  EXPECT_TRUE(a.check_invariants());
+  EXPECT_TRUE(b.check_invariants());
+  EXPECT_GT(a.bucket_count(), 64u);
+  EXPECT_GT(b.bucket_count(), 64u);
+  std::size_t shuttled_in_a = 0, shuttled_in_b = 0;
+  for (uint64_t k = 1; k <= kKeys; k++) {
+    bool in_a = a.find(k).has_value();
+    bool in_b = b.find(k).has_value();
+    ASSERT_TRUE(in_a != in_b) << "key " << k << " lost or duplicated";
+    ASSERT_EQ(in_a ? *a.find(k) : *b.find(k), k * 7) << "key " << k;
+    (in_a ? shuttled_in_a : shuttled_in_b)++;
+  }
+  EXPECT_EQ(a.size(), shuttled_in_a + kGrow);
+  EXPECT_EQ(b.size(), shuttled_in_b + kGrow);
+}
+
+TEST_P(HashtableResizeTest, MoveBasicSemantics) {
+  ht_try a(64), b(64);
+  a.insert(1, 10);
+  a.insert(2, 20);
+  EXPECT_TRUE(flock_ds::move_retry(a, b, uint64_t{1}));
+  EXPECT_FALSE(a.find(1).has_value());
+  EXPECT_EQ(*b.find(1), 10u);                            // value travels
+  EXPECT_FALSE(flock_ds::move_retry(a, b, uint64_t{1})); // no longer in src
+  EXPECT_FALSE(flock_ds::move_retry(a, b, uint64_t{9})); // never existed
+  b.insert(2, 99);
+  EXPECT_FALSE(flock_ds::move_retry(a, b, uint64_t{2})); // already in dest
+  EXPECT_EQ(*a.find(2), 20u);                            // source untouched
+  EXPECT_FALSE(flock_ds::try_move(a, a, uint64_t{2}));   // self-move rejected
+  EXPECT_TRUE(a.check_invariants());
+  EXPECT_TRUE(b.check_invariants());
+}
+
+TEST_P(HashtableResizeTest, EpochArrayRetireBalances) {
+  // The resize path retires whole bucket arrays through the epoch
+  // machinery; after enough growth plus a flush, no array may leak.
+  long long before = flock::arrays_outstanding();
+  {
+    ht_try t(64);
+    auto res = flock_workload::run_growth(t, 1 << 14, 4);
+    EXPECT_EQ(res.successful_updates, static_cast<uint64_t>(1 << 14));
+    EXPECT_GT(flock::arrays_outstanding(), before);
+  }
+  flock::epoch_manager::instance().flush();
+  EXPECT_EQ(flock::arrays_outstanding(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, HashtableResizeTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "blocking" : "lockfree";
+                         });
+
+}  // namespace

@@ -89,11 +89,41 @@ TEST(Prefill, DeterministicHalf) {
   flock_workload::prefill_half(s, 2000, 4);
   std::size_t expected = 0;
   for (uint64_t k = 1; k <= 2000; k++)
-    if (flock_workload::splitmix64(k) & 1) expected++;
+    if (flock_workload::prefill_selects(k)) expected++;
   EXPECT_EQ(s.size(), expected);
   // Roughly half.
   EXPECT_GT(expected, 800u);
   EXPECT_LT(expected, 1200u);
+}
+
+TEST(Prefill, BucketOccupancyNearUniform) {
+  // Regression: prefill selection used to be `splitmix64(k) & 1` — the
+  // same bit as bit 0 of the hashtable's bucket index — so every
+  // prefilled key landed in an odd-indexed bucket, half the table stayed
+  // empty, and measured chain lengths doubled. The selection hash is now
+  // decorrelated; even- and odd-indexed buckets must fill evenly.
+  const uint64_t range = 1 << 15;
+  flock_workload::set_adapter<flock_ds::hashtable<uint64_t, uint64_t, false>>
+      s(std::size_t{range});
+  flock_workload::prefill_half(s, range, 4);
+  auto occ = s.underlying().bucket_occupancy();
+  ASSERT_GE(occ.size(), 2u);
+  std::size_t even = 0, odd = 0, empty = 0;
+  for (std::size_t i = 0; i < occ.size(); i++) {
+    ((i & 1) ? odd : even) += occ[i];
+    if (occ[i] == 0) empty++;
+  }
+  ASSERT_GT(even, 0u);
+  ASSERT_GT(odd, 0u);
+  double parity = static_cast<double>(even) / static_cast<double>(odd);
+  EXPECT_GT(parity, 0.8) << "even buckets starved";
+  EXPECT_LT(parity, 1.25) << "odd buckets starved";
+  // With ~n/2 keys in n buckets the empty fraction should be near
+  // e^-0.5 ~ 0.607; the parity bug put it at 1/2 + e^-1/2 ~ 0.684.
+  double empty_frac =
+      static_cast<double>(empty) / static_cast<double>(occ.size());
+  EXPECT_LT(empty_frac, 0.65);
+  flock::epoch_manager::instance().flush();
 }
 
 TEST(Driver, CountsAndRates) {
