@@ -200,12 +200,16 @@ class json_reporter {
                  "    \"descriptors_created\": %llu,\n"
                  "    \"helps_attempted\": %llu,\n"
                  "    \"helps_run\": %llu,\n"
-                 "    \"descriptors_reused\": %llu\n"
+                 "    \"descriptors_reused\": %llu,\n"
+                 "    \"helps_avoided\": %llu,\n"
+                 "    \"backoff_spins\": %llu\n"
                  "  }\n}\n",
                  static_cast<unsigned long long>(s.descriptors_created),
                  static_cast<unsigned long long>(s.helps_attempted),
                  static_cast<unsigned long long>(s.helps_run),
-                 static_cast<unsigned long long>(s.descriptors_reused));
+                 static_cast<unsigned long long>(s.descriptors_reused),
+                 static_cast<unsigned long long>(s.helps_avoided),
+                 static_cast<unsigned long long>(s.backoff_spins));
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", path);
   }

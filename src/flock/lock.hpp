@@ -46,6 +46,43 @@
 // deletes one full barrier from every uncontended acquisition (the
 // retire-side fence) — the helper side pays the xchg, but helping is the
 // cold path.
+//
+// Contention policy (when we spin, when we help — help_throttled below):
+// a lock-free waiter that observes a held lock no longer helps
+// immediately. Immediate helping has the right asymptotics but the wrong
+// constants: every waiter piles onto the installed descriptor, so the
+// holder's thunk is run redundantly by all of them, and their log-slot
+// CASes, helped-flag xchgs, and lock-word CASes all collide on the same
+// cache lines — the classic helping storm. Instead a waiter spins locally
+// on raw reads of the lock word with randomized bounded exponential
+// backoff (backoff.hpp), and converts to a helper only when one of two
+// things happens:
+//
+//   * the backoff budget (FLOCK_HELP_DELAY rounds) is exhausted while the
+//     word has not moved — the holder may be descheduled mid-thunk, so we
+//     help to guarantee progress; or
+//   * the holder's descriptor has done == true while the lock is still
+//     held — the holder finished its thunk but stalled before its unlock
+//     CAS, so helping costs one CAS and releases the lock for everyone
+//     (we skip the remaining backoff for this).
+//
+// If the word moves on while we spin, somebody made progress and no help
+// was ever needed (stat_helps_avoided counts these). Lock-freedom is
+// preserved because helping is delayed by a *bounded* number of the
+// waiter's own steps, never skipped: the system-wide progress argument of
+// §4 only needs some thread to run the installed descriptor eventually,
+// and every waiter still does so after at most help_delay rounds.
+//
+// Descriptor churn: top-level acquisitions (no enclosing thunk, the common
+// case — nesting happens inside thunks) run lean specializations that
+// branch on raw reads and the install CAS's own result instead of the
+// logged load/commit dance (which passes through at top level anyway, but
+// not for free), and re-validate the lock word after descriptor creation —
+// the long pole between the entry read and the install CAS — so an install
+// race costs a pool push instead of a doomed tag-bump CAS plus logged
+// reloads. Nested acquisitions keep the fully logged deterministic
+// structure, since there every branch must consume identical log slots
+// across runs.
 #pragma once
 
 #include <atomic>
@@ -53,6 +90,7 @@
 #include <thread>
 #include <utility>
 
+#include "backoff.hpp"
 #include "config.hpp"
 #include "descriptor.hpp"
 #include "epoch.hpp"
@@ -68,21 +106,6 @@ inline constexpr uint64_t kLockedBit = 1;
 inline bool lv_locked(uint64_t val) { return (val & kLockedBit) != 0; }
 inline descriptor* lv_descr(uint64_t val) {
   return reinterpret_cast<descriptor*>(val & ~kLockedBit);
-}
-
-/// Polite spin-wait hint. Must be cheap: this sits inside the TAS backoff
-/// loop, so a full barrier here would serialize the very path that is
-/// trying to back off.
-inline void cpu_pause() {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield" ::: "memory");
-#else
-  // Unknown ISA: a compiler-only barrier keeps the loop from being
-  // collapsed without issuing any fence instruction.
-  std::atomic_signal_fence(std::memory_order_seq_cst);
-#endif
 }
 
 using lock_word = mutable_<uint64_t>;
@@ -128,17 +151,79 @@ inline void help(thread_context* c, lock_word& st, uint64_t cur_packed) {
   g_epoch.restore_ctx(c, prev);
 }
 
-/// Retire a descriptor that was successfully installed. The retire
-/// decision goes through the log (one slot) so exactly one run of an
-/// enclosing thunk performs it. Top-level, never-helped descriptors are
-/// returned to the pool immediately (§6 optimization); everything else is
-/// epoch-retired because stale runs (of the descriptor itself, or of an
-/// enclosing thunk replaying this code) may still hold the pointer.
+/// Throttled help (contention policy, see header comment): spin locally
+/// with randomized bounded exponential backoff before converting to a
+/// helper. Consumes no enclosing log slots (raw reads and pauses only),
+/// so it is safe on both the top-level and the nested paths. Returns true
+/// if we helped, false if progress elsewhere made helping unnecessary.
+template <bool Ccas>
+inline bool help_throttled(thread_context* c, lock_word& st,
+                           uint64_t cur_packed) {
+  // The done-reads below may target a descriptor the owner has already
+  // pool-reused (the §6 reuse shortcut returns never-helped descriptors
+  // to the pool without an epoch wait). That is the same benign hazard
+  // help() has always had with its helped-store: descriptor storage is
+  // slab-backed and never unmapped, a stale read at worst yields a bogus
+  // done bit, and acting on it just means helping "early" — help()
+  // revalidates the lock word with a seq_cst read before running
+  // anything, and the word's tag is monotonic while stale referencers
+  // exist, so a reused descriptor can never pass that validation.
+  descriptor* d = lv_descr(val_of(cur_packed));
+  // Stall signal #1: the holder finished its thunk but has not released
+  // (descheduled between its done-store and its unlock CAS). Only the
+  // unlock CAS remains, so help immediately — it is nearly free and
+  // releases the lock for every waiter.
+  if (!d->done.load(std::memory_order_acquire)) {
+    backoff bo(c);
+    while (!bo.exhausted()) {
+      bo.spin();
+      // Local spinning re-checks with a relaxed raw read: a stale value
+      // merely costs one more round, and the decision to help revalidates
+      // with the seq_cst protocol inside help().
+      if (st.read_raw_packed_relaxed() != cur_packed) {
+        // The word moved on: the holder (or another helper) made
+        // progress, so our help is no longer needed.
+        c->stat_helps_avoided++;
+        return false;
+      }
+      if (d->done.load(std::memory_order_acquire)) break;
+    }
+    // Stall signal #2: the word did not move for the whole budget — the
+    // holder may be descheduled mid-thunk. Fall through and help.
+  }
+  help<Ccas>(c, st, cur_packed);
+  return true;
+}
+
+/// Retire a descriptor that was successfully installed from a NESTED
+/// acquisition (top-level acquisitions use retire_installed_toplevel
+/// below, so c->log.block != nullptr here). The retire decision goes
+/// through the log (one slot) so exactly one run of the enclosing thunk
+/// performs it; the descriptor is always epoch-retired because stale runs
+/// (of the descriptor itself, or of the enclosing thunk replaying this
+/// code) may still hold the pointer — the §6 pool-reuse shortcut is a
+/// top-level-only optimization.
 template <bool Ccas>
 inline void retire_installed(thread_context* c, descriptor* d) {
-  bool nested = c->log.block != nullptr;
-  if (!commit64_first_ctx<Ccas>(c, 1).second) return;
-  if (!nested && !d->helped.load(std::memory_order_seq_cst)) {
+  if (commit64_first_ctx<Ccas>(c, 1).second) epoch_retire_ctx(c, d);
+}
+
+/// Retire a descriptor whose install CAS lost, from a nested acquisition:
+/// it was never on the lock, but replays of the enclosing thunk can still
+/// reach it through the log.
+template <bool Ccas>
+inline void retire_unpublished(thread_context* c, descriptor* d) {
+  if (commit64_first_ctx<Ccas>(c, 1).second) epoch_retire_ctx(c, d);
+}
+
+// --- lock-free (helping) mode ---------------------------------------------
+
+/// Top-level retire of a descriptor this thread installed and ran: the §6
+/// reuse optimization without the logged commit (nothing to keep
+/// deterministic outside a thunk).
+template <bool Ccas>
+inline void retire_installed_toplevel(thread_context* c, descriptor* d) {
+  if (!d->helped.load(std::memory_order_seq_cst)) {
     c->stat_reused++;
     pool_delete_ctx(c, d);
   } else {
@@ -146,22 +231,47 @@ inline void retire_installed(thread_context* c, descriptor* d) {
   }
 }
 
-/// Retire a descriptor whose install CAS lost: it was never on the lock,
-/// but nested replays can still reach it through the enclosing log.
-template <bool Ccas>
-inline void retire_unpublished(thread_context* c, descriptor* d) {
-  bool nested = c->log.block != nullptr;
-  if (!commit64_first_ctx<Ccas>(c, 1).second) return;
-  if (!nested)
-    pool_delete_ctx(c, d);
-  else
-    epoch_retire_ctx(c, d);
+/// Top-level try_lock: no enclosing log, so nothing here must stay
+/// deterministic across runs — branch on raw reads and on the install
+/// CAS's own result, and keep a lost race to one pool push (see header).
+template <bool Ccas, class F>
+bool try_lock_helping_toplevel(thread_context* c, lock_word& st, F&& f) {
+  uint64_t cur = st.read_raw_packed();
+  if (lv_locked(val_of(cur))) {
+    help_throttled<Ccas>(c, st, cur);
+    return false;
+  }
+  descriptor* d = create_descriptor_ctx<Ccas>(c, std::forward<F>(f));
+  uint64_t minev = reinterpret_cast<uint64_t>(d) | kLockedBit;
+  // Re-validate after descriptor creation — the long pole between the
+  // entry read and the install CAS, where install races concentrate.
+  // Re-reading also refreshes the expected word, so a tag bumped by an
+  // intervening lock/unlock pair does not fail our install.
+  cur = st.read_raw_packed();
+  if (lv_locked(val_of(cur))) {
+    pool_delete_ctx(c, d);  // never published
+    help_throttled<Ccas>(c, st, cur);
+    return false;
+  }
+  // The ccas pre-check is skipped (<false>): we just read the word.
+  if (!st.cas_raw_packed_ctx<false>(c, cur, minev)) {
+    pool_delete_ctx(c, d);  // never published
+    uint64_t fresh = st.read_raw_packed();
+    if (lv_locked(val_of(fresh))) help_throttled<Ccas>(c, st, fresh);
+    return false;
+  }
+  bool result = run_and_unlock<Ccas>(c, st, d);
+  retire_installed_toplevel<Ccas>(c, d);
+  return result;
 }
-
-// --- lock-free (helping) mode ---------------------------------------------
 
 template <bool Ccas, class F>
 bool try_lock_helping(thread_context* c, lock_word& st, F&& f) {
+  if (c->log.block == nullptr)
+    return try_lock_helping_toplevel<Ccas>(c, st, std::forward<F>(f));
+  // Nested: the fully logged deterministic prefix (see header comment on
+  // log-slot discipline). Helping is throttled here too — backoff spins
+  // consume no log slots, so replays may legally spin different amounts.
   uint64_t cur = st.load_packed_ctx<Ccas>(c);  // logged
   if (!lv_locked(val_of(cur))) {
     descriptor* d =
@@ -181,22 +291,41 @@ bool try_lock_helping(thread_context* c, lock_word& st, F&& f) {
       // Help whoever holds the lock *now*; a fresh read keeps the helped
       // descriptor current, and help() revalidates before running.
       uint64_t fresh = st.read_raw_packed();
-      if (lv_locked(val_of(fresh))) help<Ccas>(c, st, fresh);
+      if (lv_locked(val_of(fresh))) help_throttled<Ccas>(c, st, fresh);
     }
     retire_unpublished<Ccas>(c, d);
     return false;
   }
-  help<Ccas>(c, st, cur);
+  help_throttled<Ccas>(c, st, cur);
   return false;
 }
 
 template <bool Ccas, class F>
 bool strict_lock_helping(thread_context* c, lock_word& st, F&& f) {
   // §4: "by first creating the descriptor, and then putting the attempt to
-  // acquire a lock into a while loop". All logged values are identical
-  // across runs, so every run executes the same number of iterations.
+  // acquire a lock into a while loop". The descriptor is created once,
+  // outside the loop, so retries consume no fresh pool traffic.
   descriptor* d = create_descriptor_ctx<Ccas>(c, std::forward<F>(f));
   uint64_t minev = reinterpret_cast<uint64_t>(d) | kLockedBit;
+  if (c->log.block == nullptr) {
+    // Top level: raw reads and the install CAS's own result (nothing to
+    // keep deterministic), with throttled helping while the lock is held.
+    while (true) {
+      uint64_t cur = st.read_raw_packed();
+      if (!lv_locked(val_of(cur))) {
+        if (st.cas_raw_packed_ctx<false>(c, cur, minev)) {
+          bool result = run_and_unlock<Ccas>(c, st, d);
+          retire_installed_toplevel<Ccas>(c, d);
+          return result;
+        }
+      } else {
+        help_throttled<Ccas>(c, st, cur);
+      }
+    }
+  }
+  // Nested: all logged values are identical across runs, so every run
+  // executes the same number of iterations (backoff spins inside
+  // help_throttled consume no log slots and may differ freely).
   while (true) {
     uint64_t cur = st.load_packed_ctx<Ccas>(c);  // logged
     if (!lv_locked(val_of(cur))) {
@@ -211,10 +340,10 @@ bool strict_lock_helping(thread_context* c, lock_word& st, F&& f) {
       }
       if (lv_locked(nowv)) {
         uint64_t fresh = st.read_raw_packed();
-        if (lv_locked(val_of(fresh))) help<Ccas>(c, st, fresh);
+        if (lv_locked(val_of(fresh))) help_throttled<Ccas>(c, st, fresh);
       }
     } else {
-      help<Ccas>(c, st, cur);
+      help_throttled<Ccas>(c, st, cur);
     }
   }
 }
@@ -237,17 +366,13 @@ bool try_lock_blocking(thread_context* c, lock_word& st, F&& f) {
 
 template <class F>
 bool strict_lock_blocking(thread_context* c, lock_word& st, F&& f) {
-  int backoff = 1;
+  backoff bo(c);  // shared randomized-exponential helper (backoff.hpp)
   while (true) {
     uint64_t p = st.read_raw_packed();
     if (!lv_locked(val_of(p))) {
       if (st.cas_raw_packed_ctx<false>(c, p, kLockedBit)) break;
     } else {
-      for (int i = 0; i < backoff; i++) cpu_pause();
-      if (backoff < 1024)
-        backoff <<= 1;
-      else
-        std::this_thread::yield();
+      bo.spin();
     }
   }
   bool result = f();

@@ -132,6 +132,12 @@ class mutable_ {
   uint64_t read_raw_packed() const {
     return word_.load(std::memory_order_acquire);
   }
+  /// Relaxed read of the packed word, for local spin-waiting (the backoff
+  /// re-checks in lock.hpp): a stale value only costs an extra round, and
+  /// any decision taken after the spin revalidates with an ordered read.
+  uint64_t read_raw_packed_relaxed() const {
+    return word_.load(std::memory_order_relaxed);
+  }
   /// seq_cst read of the packed word: participates in the helped/unlock
   /// hand-off protocol (lock.hpp), whose correctness argument runs through
   /// the seq_cst total order instead of fences. Same code as an acquire

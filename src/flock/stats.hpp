@@ -19,6 +19,8 @@ struct stats_snapshot {
   uint64_t helps_attempted = 0;      // help() entries
   uint64_t helps_run = 0;            // help() revalidations that ran a thunk
   uint64_t descriptors_reused = 0;   // fast-path pool reuse (never helped)
+  uint64_t helps_avoided = 0;        // throttled waits resolved without a help
+  uint64_t backoff_spins = 0;        // cpu_pause iterations spent backing off
 };
 
 /// Aggregate counters across all threads (monotonic since process start).
@@ -31,6 +33,8 @@ inline stats_snapshot stats() {
     s.helps_attempted += c.stat_attempted;
     s.helps_run += c.stat_ran;
     s.descriptors_reused += c.stat_reused;
+    s.helps_avoided += c.stat_helps_avoided;
+    s.backoff_spins += c.stat_backoff_spins;
   }
   return s;
 }

@@ -59,7 +59,7 @@ struct retire_batch {
 };
 
 struct alignas(2 * kCacheLine) thread_context {
-  // --- first cache line: owner-private hot state -------------------------
+  // --- owner-private hot state (never written by other threads) ----------
   log_cursor log;            // cursor into the current thunk's log
   int id = -1;               // dense id in [0, kMaxThreads)
   uint64_t commit_count = 0;  // log-slot commits (instrumentation)
@@ -67,8 +67,11 @@ struct alignas(2 * kCacheLine) thread_context {
   uint64_t stat_attempted = 0; // help() entries
   uint64_t stat_ran = 0;       // help() revalidations that ran a thunk
   uint64_t stat_reused = 0;    // never-helped fast-path descriptor reuse
+  uint64_t stat_helps_avoided = 0;  // throttled waits resolved without helping
+  uint64_t stat_backoff_spins = 0;  // cpu_pause iterations spent backing off
+  uint64_t backoff_rng = 0;    // xorshift state (lazily seeded from id)
 
-  // --- second cache line: state scanned by other threads -----------------
+  // --- own cache line: state scanned by other threads --------------------
   alignas(kCacheLine) std::atomic<int64_t> announced{-1};  // epoch slot
   std::atomic<const void*> ann_loc{nullptr};  // tag-wrap announcement
   std::atomic<uint64_t> ann_packed{0};        //   (tagged.hpp)

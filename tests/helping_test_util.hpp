@@ -17,11 +17,15 @@
 
 namespace helping_test {
 
+enum class probe_kind { try_probe, strict_probe };
+
 /// Runs one stalled-owner / helping-probe cycle on a fresh lock in
 /// lock-free mode. On return the owner's critical section was applied
 /// exactly once (counter == 1) and the calling thread attempted (and,
-/// because the helper's run skips the stall, completed) a help.
-inline uint64_t force_one_help() {
+/// because the helper's run skips the stall, completed) a help. With
+/// probe_kind::strict_probe the probe is a strict_lock, which must help
+/// the stalled owner and then acquire (and run its empty thunk) itself.
+inline uint64_t force_one_help(probe_kind kind = probe_kind::try_probe) {
   flock::lock l;
   auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
   x->init(0);
@@ -44,8 +48,16 @@ inline uint64_t force_one_help() {
   });
   while (!owner_installed.load()) {
   }
-  // Lock is observably held: this must take the help path.
-  flock::with_epoch([&] { return flock::try_lock(l, [] { return true; }); });
+  // Lock is observably held: this must take the help path. The owner's
+  // stall is indefinite (until owner_may_finish), so any bounded backoff
+  // budget runs out and the probe helps — completing the owner's thunk,
+  // whose helper-side run skips the thread-id-gated stall.
+  if (kind == probe_kind::strict_probe) {
+    flock::with_epoch(
+        [&] { return flock::strict_lock(l, [] { return true; }); });
+  } else {
+    flock::with_epoch([&] { return flock::try_lock(l, [] { return true; }); });
+  }
   owner_may_finish.store(true);
   owner.join();
 
