@@ -18,6 +18,7 @@
 #include "ds/hashtable.hpp"
 #include "flock/flock.hpp"
 #include "harness.hpp"
+#include "store/sharded_map.hpp"
 #include "workload/driver.hpp"
 #include "workload/zipf.hpp"
 
@@ -317,6 +318,60 @@ void emit_json_series() {
     rep.add("ht_mixed_presized_mops", mp.mops);
     rep.add("ht_mixed_grown_over_presized",
             mp.mops > 0 ? mg.mops / mp.mops : 0.0);
+    flock::epoch_manager::instance().flush();
+  }
+  {
+    // Store-tier churn scenario: the full ramp -> drain -> settle
+    // lifecycle on the sharded store (1 shard vs 8), ending with the
+    // steady mixed throughput of the SHRUNK store bounded against a
+    // fresh correctly-presized single table holding the same small
+    // population — the shrink tax on the serving path, mirror of the
+    // grow scenario above.
+    flock::set_blocking(false);
+    const uint64_t range =
+        static_cast<uint64_t>(bench::env_long("FLOCK_CHURN_KEYS", 500000));
+    const int threads =
+        static_cast<int>(bench::env_long("FLOCK_CHURN_THREADS", 4));
+    const uint64_t small_range = range / 64;  // post-drain working set
+
+    flock_workload::zipf_distribution dist_small(small_range, 0.75);
+    flock_workload::run_config cfg;
+    cfg.threads = threads;
+    cfg.update_percent = 50;
+    cfg.millis = 300;
+
+    double steady_mops[2] = {0, 0};
+    int si = 0;
+    for (std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+      std::string p = "churn_s" + std::to_string(shards) + "_";
+      flock_store::sharded_map<uint64_t, uint64_t, false> store(shards);
+      auto g = flock_workload::run_growth(store, range, threads);
+      rep.add(p + "ramp_insert_mops", g.mops);
+      const double peak = static_cast<double>(store.bucket_count());
+      rep.add(p + "peak_buckets", peak);
+      auto d = flock_workload::run_drain(store, range, threads);
+      rep.add(p + "drain_remove_mops", d.mops);
+      // Settle window: steady mixed traffic over the small working set
+      // supplies the update ticks and migration help that carry every
+      // shard's shrink down to its new equilibrium.
+      flock_workload::run_mixed(store, dist_small, cfg);
+      const double shrunk = static_cast<double>(store.bucket_count());
+      rep.add(p + "shrunk_buckets", shrunk);
+      rep.add(p + "shrank_4x_ok", shrunk * 4 <= peak ? 1.0 : 0.0);
+      auto m = flock_workload::run_mixed(store, dist_small, cfg);
+      rep.add(p + "steady_mixed_mops", m.mops);
+      rep.add(p + "invariants_ok", store.check_invariants() ? 1.0 : 0.0);
+      steady_mops[si++] = m.mops;
+    }
+
+    flock_ds::hashtable<uint64_t, uint64_t, false> presized(small_range);
+    flock_workload::prefill_half(presized, small_range, threads);
+    auto mp = flock_workload::run_mixed(presized, dist_small, cfg);
+    rep.add("churn_presized_small_mixed_mops", mp.mops);
+    rep.add("churn_s1_shrunk_over_presized",
+            mp.mops > 0 ? steady_mops[0] / mp.mops : 0.0);
+    rep.add("churn_s8_shrunk_over_presized",
+            mp.mops > 0 ? steady_mops[1] / mp.mops : 0.0);
     flock::epoch_manager::instance().flush();
   }
   rep.write();

@@ -17,6 +17,7 @@ namespace {
 
 struct one_result {
   double mops = 0;
+  std::size_t resident = 0;     // population after the run (stats read)
   flock::stats_snapshot delta;  // helping/backoff activity during the run
 };
 
@@ -36,6 +37,9 @@ one_result run_one(bool blocking, int threads, int millis) {
   flock::epoch_manager::instance().flush();
   one_result r;
   r.mops = res.mops;
+  // adapter::approx_size — the counter read on structures that shard an
+  // occupancy count (hashtable/sharded_map), the exact scan elsewhere.
+  r.resident = tree.approx_size();
   r.delta.helps_attempted = after.helps_attempted - before.helps_attempted;
   r.delta.helps_run = after.helps_run - before.helps_run;
   r.delta.helps_avoided = after.helps_avoided - before.helps_avoided;
@@ -62,10 +66,11 @@ int main(int argc, char** argv) {
     // finish on its own (helping avoided entirely).
     std::printf(
         "   lock-free waiters: %llu helped, %llu avoided, %llu backoff "
-        "spins\n",
+        "spins; ~%llu keys resident\n",
         static_cast<unsigned long long>(lf.delta.helps_run),
         static_cast<unsigned long long>(lf.delta.helps_avoided),
-        static_cast<unsigned long long>(lf.delta.backoff_spins));
+        static_cast<unsigned long long>(lf.delta.backoff_spins),
+        static_cast<unsigned long long>(lf.resident));
   }
   std::printf(
       "\nExpected shape (paper Figs. 5d/5g/5h): ~parity at 1x, lock-free\n"

@@ -1,6 +1,6 @@
 // hashtable.hpp — separate-chaining hash table (paper §7 "a separate
-// chaining hashtable") with incremental, non-blocking resizing built out
-// of the same lock-free locks.
+// chaining hashtable") with incremental, non-blocking resizing — in BOTH
+// directions — built out of the same lock-free locks.
 //
 // Layout: an epoch-protected `table` (bucket array + mask) hangs behind a
 // flock::mutable_ root pointer. Each bucket is a sorted chain of lock-free
@@ -11,26 +11,42 @@
 // flag, lock} and nodes only {chain, deleted flag, k, v} — no dead lock
 // word on every key.
 //
-// Resize protocol (forwarding marks in the spirit of Harris-style
-// migration; one bucket per lock-free-lock critical section):
+// Migration engine (forwarding marks in the spirit of Harris-style
+// migration; one migration *unit* per lock-free-lock critical section).
+// Grow and shrink are two policies over one mechanism — they share the
+// successor install, the claim cursor, the forwarded-flag protocol, the
+// migrated count, completion recovery, and the root swing; they differ
+// only in the shape of a unit:
+//  * grow  (2x successor):   unit u SPLITS old bucket u into successor
+//    buckets u and u+n (one source per destination bucket);
+//  * shrink (half successor): unit u MERGES old buckets u and u+n/2 into
+//    successor bucket u, under both old-bucket locks nested in address
+//    order, building the merged chain privately and publishing it with
+//    ONE store before either forwarded flag is set (two sources per
+//    destination, so the destination must appear atomically).
+//
+// Protocol:
 //  * Occupancy is tracked in sharded counters bumped by successful
-//    updates. When the count reaches the bucket count, an updater
-//    installs a 2x successor in `root->next`. Successors are only ever
-//    installed on the root table, so at most one resize is in flight and
-//    a successor's buckets cannot themselves forward while they are still
-//    receiving migrated chains.
-//  * Migration proceeds bucket-by-bucket. Migrating bucket i locks it
-//    and, inside that single critical section: copies the frozen chain
-//    into successor buckets i and i+n (the chain is sorted and the split
-//    keys one hash bit, so relative order — and therefore sortedness —
-//    is preserved), publishes each new chain with one store, retires the
-//    originals, and only then marks the old bucket "forwarded" (its
-//    write_once flag). Every step is idempotent, so helpers can replay
-//    the thunk safely.
+//    updates; every 16th update per shard re-evaluates the resize policy.
+//    At load factor >= 1 an updater installs a 2x successor in
+//    `root->next`; at load factor < 1/4 (and above the floor) a half-size
+//    successor. The 1/4-vs-1 gap is the hysteresis band: right after a
+//    grow the count is ~n/2 (needs to fall 2x before shrinking), right
+//    after a shrink ~n/2 (needs to double before growing), so a steady
+//    workload cannot thrash. Successors are only ever installed on the
+//    root table, so at most one resize is in flight and a successor's
+//    buckets cannot themselves forward while still receiving chains.
+//  * Migration proceeds unit-by-unit. A unit's critical section copies
+//    the frozen chain(s) into the successor (chains are sorted; a grow
+//    splits on one hash bit and a shrink merges two disjoint sorted
+//    chains, so sortedness is preserved), publishes the new chains,
+//    retires the originals, and only then marks the old bucket(s)
+//    "forwarded" (their write_once flags). Every step is idempotent, so
+//    helpers can replay the thunk safely.
 //  * Updaters re-validate the forwarded flag inside their own critical
 //    section (same lock), so a forwarded bucket is frozen forever; any
 //    operation that lands on one chases `table->next`. Updaters that
-//    find a resize in progress migrate their own bucket first (old
+//    find a resize in progress migrate their own unit first (old
 //    tables only ever drain) plus a small batch claimed from a shared
 //    cursor — and keep helping while merely chasing, so the straggler
 //    tail cannot serialize back-to-back resizes.
@@ -102,18 +118,19 @@ class hashtable {
     flock::mutable_<table*> next;           // successor during a resize
     std::atomic<std::size_t> migrated{0};   // forwarded-bucket count
     std::atomic<std::size_t> cursor{0};     // shared migration claim cursor
-    std::atomic<bool> grow_hint{false};     // an allocator is building `next`
+    std::atomic<bool> resize_hint{false};   // an allocator is building `next`
 
     std::size_t nbuckets() const { return mask + 1; }
   };
 
   struct alignas(flock::kCacheLine) counter_shard {
-    std::atomic<long long> n{0};
+    std::atomic<long long> n{0};    // occupancy delta owned by this shard
+    std::atomic<uint64_t> ops{0};   // update tick (drives policy re-checks)
   };
 
   static constexpr std::size_t kMinBuckets = 64;
   static constexpr int kCountShards = 32;  // power of two
-  static constexpr int kMigrateBatch = 8;  // buckets helped per update
+  static constexpr int kMigrateBatch = 8;  // units helped per update
 
   template <class F>
   static bool acquire(flock::lock& l, F&& f) {
@@ -243,6 +260,24 @@ class hashtable {
     });
   }
 
+  /// O(kCountShards) size estimate read off the sharded occupancy
+  /// counters — the stats-line companion to the O(n) exact size() scan.
+  /// Exact at quiescence (every successful update bumps exactly one
+  /// shard); during a run it can lag in-flight updates by a few.
+  std::size_t approx_size() const {
+    long long c = approx_count();
+    return c > 0 ? static_cast<std::size_t>(c) : 0;
+  }
+
+  /// Resizes initiated since construction, by direction. Test support for
+  /// hysteresis audits (a steady mid-band workload must not thrash).
+  std::size_t grow_count() const {
+    return grows_.load(std::memory_order_relaxed);
+  }
+  std::size_t shrink_count() const {
+    return shrinks_.load(std::memory_order_relaxed);
+  }
+
   /// Sorted chains, no removed node reachable, and every key resident in
   /// the bucket its hash selects in that table (cross-bucket corruption).
   bool check_invariants() const {
@@ -297,6 +332,27 @@ class hashtable {
     });
   }
 
+  /// Early-exit scan: visits keys until `f` returns false. Returns true
+  /// iff the scan ran to completion. Batched consumers (e.g. the store
+  /// tier's rebalance passes) use this so collecting a bounded batch
+  /// costs O(batch), not O(resident keys).
+  template <class F>
+  bool for_each_until(F&& f) const {
+    return flock::with_epoch([&] {
+      for (const table* t = root_.read_raw(); t != nullptr;
+           t = t->next.read_raw()) {
+        for (std::size_t i = 0; i <= t->mask; i++) {
+          const bucket* s = &t->buckets[i];
+          if (s->removed.read_raw()) continue;
+          for (node* c = s->next.read_raw(); c != nullptr;
+               c = c->next.read_raw())
+            if (!f(c->k, c->v)) return false;
+        }
+      }
+      return true;
+    });
+  }
+
  private:
   template <class K2, class V2, bool S2>
   friend bool try_move(hashtable<K2, V2, S2>&, hashtable<K2, V2, S2>&,
@@ -329,7 +385,7 @@ class hashtable {
     t->next.init(nullptr);
     t->migrated.store(0, std::memory_order_relaxed);
     t->cursor.store(0, std::memory_order_relaxed);
-    t->grow_hint.store(false, std::memory_order_relaxed);
+    t->resize_hint.store(false, std::memory_order_relaxed);
     return t;
   }
 
@@ -363,18 +419,53 @@ class hashtable {
       }
       table* nxt = t->next.read_raw();
       if (nxt == nullptr) return s;
-      // Resize in progress: forward our own bucket first (so old tables
+      // Resize in progress: forward our own unit first (so old tables
       // only ever drain), then help a small claimed batch, and re-check —
       // a failed lock attempt means the holder is either the migrator or
       // a completing updater, so just retry.
-      migrate_bucket(t, nxt, i);
+      migrate_unit(t, nxt, i & unit_mask(t, nxt));
       help_resize(t, nxt);
     }
   }
 
-  /// Migrate bucket i of t into its two successor buckets. Returns after
-  /// the bucket is forwarded or the lock attempt failed.
-  void migrate_bucket(table* t, table* nt, std::size_t i) {
+  // --- shared migration engine ------------------------------------------
+  // A resize is a sequence of units claimed off `cursor`. Growing n -> 2n
+  // has n units (one old bucket each); shrinking n -> n/2 has n/2 units
+  // (one old bucket PAIR each). Both directions complete when all n old
+  // buckets are forwarded (`migrated` == n).
+
+  static bool is_grow(const table* t, const table* nt) {
+    return nt->mask > t->mask;
+  }
+  static std::size_t unit_count(const table* t, const table* nt) {
+    return is_grow(t, nt) ? t->nbuckets() : nt->nbuckets();
+  }
+  static std::size_t unit_mask(const table* t, const table* nt) {
+    return unit_count(t, nt) - 1;
+  }
+
+  /// Append an idempotent copy of chain node c after *tl, advancing *tl.
+  /// The retire of the original is safe inside the critical section:
+  /// epoch-protected readers may still be scanning the frozen chain.
+  static void append_copy(chain_head*& tl, node* c) {
+    node* copy = flock::allocate<node>(c->k, c->v, nullptr);
+    tl->next = copy;
+    tl = copy;
+    flock::retire<node>(c);
+  }
+
+  /// Migrate unit u of the t -> nt resize. Returns after the unit's old
+  /// bucket(s) are forwarded or a lock attempt failed (callers retry via
+  /// the wrapping cursor).
+  void migrate_unit(table* t, table* nt, std::size_t u) {
+    if (is_grow(t, nt))
+      migrate_unit_grow(t, nt, u);
+    else
+      migrate_unit_shrink(t, nt, u);
+  }
+
+  /// Grow unit: split old bucket u into successor buckets u and u+n.
+  void migrate_unit_grow(table* t, table* nt, std::size_t i) {
     bucket* s = &t->buckets[i];
     if (s->removed.read_raw()) return;  // already forwarded
     bucket* lo = &nt->buckets[i];
@@ -388,46 +479,114 @@ class hashtable {
       // Copies are appended directly onto the successor buckets (the
       // forward walk preserves sorted order, no side buffers): nothing
       // can observe those chains until the forwarded flag below is set,
-      // because successor bucket traffic only begins at that flag.
+      // because each successor bucket has exactly one source bucket and
+      // traffic to it only begins at that source's flag.
       chain_head* tail[2] = {lo, hi};
-      for (node* c = s->next.load(); c != nullptr; c = c->next.load()) {
-        chain_head*& tl = tail[(hash_of(c->k) & bit) ? 1 : 0];
-        node* copy = flock::allocate<node>(c->k, c->v, nullptr);
-        tl->next = copy;
-        tl = copy;
-        // Retire the original; epoch-protected readers may still be
-        // scanning the frozen chain.
-        flock::retire<node>(c);
-      }
+      for (node* c = s->next.load(); c != nullptr; c = c->next.load())
+        append_copy(tail[(hash_of(c->k) & bit) ? 1 : 0], c);
       s->removed = true;  // forwarded: published after the copies are live
       return true;
     });
-    // Exactly one acquire() returns true per bucket (all later critical
-    // sections fail the forwarded check), so the count is exact.
-    if (did && t->migrated.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-                   t->nbuckets())
+    finish_unit(t, did ? 1 : 0);
+  }
+
+  /// Shrink unit: merge old buckets u and u+n/2 into successor bucket u,
+  /// under both old-bucket locks (nested in address order — lo before hi —
+  /// the same acyclic discipline try_move uses). Unlike a grow unit, the
+  /// successor bucket has TWO source buckets whose forwarded flags commit
+  /// at different log positions, so an updater hashed to the other source
+  /// could reach the successor while this critical section is still
+  /// running; the merged chain is therefore built privately and published
+  /// with ONE store, strictly before either flag, so the successor bucket
+  /// is never observable half-merged.
+  void migrate_unit_shrink(table* t, table* nt, std::size_t u) {
+    bucket* lo = &t->buckets[u];
+    bucket* hi = &t->buckets[u + nt->nbuckets()];
+    bucket* dst = &nt->buckets[u];
+    // "Already migrated" must be judged by hi's flag — the thunk's LAST
+    // store — not lo's. Flag commits are ordered lo-then-hi, so there is
+    // a window where lo is flagged while the thunk is still in flight;
+    // an early exit keyed on lo would let every latecomer skip the lock
+    // attempt that is the only channel for helping the stalled winner
+    // finish, leaving hi-keyed updaters spinning in locate_update until
+    // the winner reschedules. Keyed on hi, latecomers fall through to
+    // acquire(lo->lck), help the in-flight critical section to
+    // completion, and then fail its validation harmlessly. (The grow
+    // unit has no such window: its single flag is the thunk's last
+    // store.)
+    if (hi->removed.read_raw()) return;  // unit already migrated
+    bool did = acquire(lo->lck, [=] {
+      if (lo->removed.load()) return false;  // lost the race
+      return acquire(hi->lck, [=] {
+        if (hi->removed.load()) return false;  // cannot happen alone; belt
+        // Both chains are frozen under their locks. They hold disjoint
+        // keys (different old-bucket residues of the same hash), all of
+        // which land in dst, so a standard sorted merge preserves the
+        // chain invariant. head/tail are plain locals — deterministic
+        // across helper replays because the logged loads fix the walk and
+        // idempotent allocation fixes the copy identities — so the only
+        // logged stores link shared copy nodes through their unpublished
+        // next fields.
+        node* a = lo->next.load();
+        node* b = hi->next.load();
+        node* head = nullptr;
+        node* tail = nullptr;
+        auto take = [&](node*& src) {
+          node* copy = flock::allocate<node>(src->k, src->v, nullptr);
+          if (head == nullptr)
+            head = copy;
+          else
+            tail->next = copy;
+          tail = copy;
+          flock::retire<node>(src);  // readers may still scan the original
+          src = src->next.load();
+        };
+        while (a != nullptr || b != nullptr) {
+          if (b == nullptr || (a != nullptr && a->k < b->k))
+            take(a);
+          else
+            take(b);
+        }
+        dst->next = head;     // single publish of the whole merge
+        lo->removed = true;   // flags strictly after the publish: a set
+        hi->removed = true;   // flag always finds dst fully merged
+        return true;
+      });
+    });
+    finish_unit(t, did ? 2 : 0);
+  }
+
+  /// Shared unit epilogue: exactly one acquire() returns true per unit
+  /// (all later critical sections fail the forwarded check), so counting
+  /// the unit's forwarded buckets once keeps `migrated` exact.
+  void finish_unit(table* t, std::size_t forwarded) {
+    if (forwarded != 0 &&
+        t->migrated.fetch_add(forwarded, std::memory_order_acq_rel) +
+                forwarded ==
+            t->nbuckets())
       advance_root();
   }
 
-  /// Claim and migrate a small batch of buckets (the cursor wraps, so
+  /// Claim and migrate a small batch of units (the cursor wraps, so
   /// stragglers whose first lock attempt failed are retried by later
   /// helpers and a resize finishes under any traffic).
   void help_resize(table* t, table* nt) {
     const std::size_t n = t->nbuckets();
+    const std::size_t units = unit_count(t, nt);
     for (int j = 0; j < kMigrateBatch; j++) {
       if (t->migrated.load(std::memory_order_acquire) >= n) {
         advance_root();  // idempotent; rescues a swing whose winner stalled
         return;
       }
       std::size_t claimed = t->cursor.fetch_add(1, std::memory_order_relaxed);
-      migrate_bucket(t, nt, claimed & (n - 1));
+      migrate_unit(t, nt, claimed & (units - 1));
       // Completion recovery: the fast-path `migrated` count is bumped by
-      // each bucket's winning migrator outside its critical section, so a
+      // each unit's winning migrator outside its critical section, so a
       // winner stalled (or lost) between forwarding and counting would
-      // leave it short. Once per cursor wrap — every bucket has been
+      // leave it short. Once per cursor wrap — every unit has been
       // attempted at least once — re-derive completion from the monotone
       // forwarded flags themselves, so ANY thread can finish the resize.
-      if (claimed >= n && (claimed & (n - 1)) == 0) {
+      if (claimed >= units && (claimed & (units - 1)) == 0) {
         std::size_t fwd = 0;
         for (std::size_t i = 0; i < n; i++)
           if (t->buckets[i].removed.read_raw()) fwd++;
@@ -478,13 +637,18 @@ class hashtable {
 
   /// Occupancy accounting: sharded counters bumped by successful updates
   /// (outside the critical section — exactly one lock acquisition returns
-  /// true per applied update). Inserts periodically sum the shards and
-  /// trigger a grow. Must be called inside with_epoch (the trigger reads
-  /// epoch-protected tables).
+  /// true per applied update). Every 16th update landing on a shard
+  /// re-evaluates the resize policy — on the op TICK, not the counter
+  /// value: a steady churn workload holds the counter value constant
+  /// (insert/remove alternating), and a value-modulo trigger would never
+  /// fire for it, starving the shrink path exactly when it matters. Must
+  /// be called inside with_epoch (the trigger reads epoch-protected
+  /// tables).
   void note_update(int delta) {
-    auto& shard = count_[flock::thread_id() & (kCountShards - 1)].n;
-    long long v = shard.fetch_add(delta, std::memory_order_relaxed) + delta;
-    if (delta > 0 && (v & 15) == 0) maybe_grow();
+    counter_shard& shard = count_[flock::thread_id() & (kCountShards - 1)];
+    shard.n.fetch_add(delta, std::memory_order_relaxed);
+    if ((shard.ops.fetch_add(1, std::memory_order_relaxed) & 15) == 15)
+      maybe_resize();
   }
 
   long long approx_count() const {
@@ -494,30 +658,44 @@ class hashtable {
     return s;
   }
 
-  void maybe_grow() {
+  /// Resize policy, with hysteresis: grow at load factor >= 1, shrink at
+  /// load factor < 1/4 (never below the kMinBuckets floor). A freshly
+  /// grown table sits at ~1/2 and a freshly shrunk one at ~1/2, so the
+  /// occupancy must move 2x before the policy fires again in either
+  /// direction — grow/shrink cannot oscillate on a steady workload.
+  void maybe_resize() {
     table* t = root_.read_raw();
     if (t->next.read_raw() != nullptr) return;  // resize already in flight
-    if (approx_count() < static_cast<long long>(t->nbuckets())) return;
+    const long long c = approx_count();
+    const long long n = static_cast<long long>(t->nbuckets());
+    const bool grow = c >= n;
+    const bool shrink =
+        !grow && t->nbuckets() > kMinBuckets && c < n / 4;
+    if (!grow && !shrink) return;
     // Duplicate-allocation damping: building a large successor takes long
     // enough that concurrent triggers would each construct (and all but
-    // one discard) a full 2x bucket array. The first trigger sets the
+    // one discard) a full bucket array. The first trigger sets the
     // hint; later ones wait a bounded spin for the install instead of
     // allocating. The wait is bounded, so a stalled allocator cannot
-    // wedge growth — after it, the duplicate-and-discard race below is
+    // wedge a resize — after it, the duplicate-and-discard race below is
     // still the lock-free fallback, just no longer the common case.
-    if (t->grow_hint.exchange(true, std::memory_order_acq_rel)) {
+    if (t->resize_hint.exchange(true, std::memory_order_acq_rel)) {
       for (int i = 0; i < 4096 && t->next.read_raw() == nullptr; i++)
         flock::detail::cpu_pause();
       if (t->next.read_raw() != nullptr) return;
     }
-    table* nt = make_table(t->nbuckets() * 2);
+    table* nt = make_table(grow ? t->nbuckets() * 2 : t->nbuckets() / 2);
     uint64_t p = t->next.read_raw_packed();
-    if (flock::val_of(p) != 0 || !t->next.cas_raw_packed(p, nt))
+    if (flock::val_of(p) != 0 || !t->next.cas_raw_packed(p, nt)) {
       free_table(nt);  // lost the install race; never published
+    } else {
+      (grow ? grows_ : shrinks_).fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   flock::mutable_<table*> root_;
   counter_shard count_[kCountShards];
+  std::atomic<std::size_t> grows_{0}, shrinks_{0};
 };
 
 /// Atomically move key `k` (and its value) between two hashtables, the

@@ -78,19 +78,43 @@ bool try_move(lazylist<K, V, Strict>& from, lazylist<K, V, Strict>& to,
   });
 }
 
-/// Loop try_move until it either moves the key or definitively cannot
-/// (absent in source / present in destination under a validated check).
-/// Works for any pair of same-type containers with a try_move overload
-/// (lazylist above, hashtable in ds/hashtable.hpp) via ADL.
+/// Why move_retry's answer is three-valued: a failed attempt budget is
+/// NOT the same fact as "the key cannot move". Rebalance loops built on
+/// top (e.g. store-tier resharding in store/sharded_map.hpp) must treat
+/// the two differently — `not_movable` means the key is done forever
+/// (gone from the source or already at the destination: skip it and move
+/// on), while `exhausted` means every attempt failed transiently under
+/// contention (the key is still pending: come back to it, widen the
+/// budget, or surface backpressure). Collapsing both to `false` made
+/// callers silently drop contended keys from rebalance passes.
+enum class move_outcome {
+  moved,        // the key changed containers exactly once
+  not_movable,  // validated: absent in source, or present in destination
+  exhausted     // attempt budget ran out; every failure was transient
+};
+
+/// Loop try_move until it either moves the key, definitively cannot
+/// (absent in source / present in destination under a validated check),
+/// or exhausts `max_attempts` without a definite answer. Works for any
+/// pair of same-type containers with a try_move overload (lazylist above,
+/// hashtable in ds/hashtable.hpp, sharded_map in store/) via ADL.
+template <class C, class Key>
+move_outcome move_retry_ex(C& from, C& to, Key k, int max_attempts = 1 << 20) {
+  for (int i = 0; i < max_attempts; i++) {
+    if (try_move(from, to, k)) return move_outcome::moved;
+    // Definitive misses: re-check quiescently-enough via plain finds.
+    if (!from.find(k).has_value()) return move_outcome::not_movable;
+    if (to.find(k).has_value()) return move_outcome::not_movable;
+  }
+  return move_outcome::exhausted;
+}
+
+/// Boolean convenience wrapper (true iff the key moved). Callers that
+/// need to distinguish "cannot move" from "ran out of attempts" use
+/// move_retry_ex above.
 template <class C, class Key>
 bool move_retry(C& from, C& to, Key k, int max_attempts = 1 << 20) {
-  for (int i = 0; i < max_attempts; i++) {
-    if (try_move(from, to, k)) return true;
-    // Definitive misses: re-check quiescently-enough via plain finds.
-    if (!from.find(k).has_value()) return false;
-    if (to.find(k).has_value()) return false;
-  }
-  return false;
+  return move_retry_ex(from, to, k, max_attempts) == move_outcome::moved;
 }
 
 }  // namespace flock_ds

@@ -19,8 +19,9 @@ namespace flock_workload {
 
 struct run_config {
   int threads = 4;
-  double update_percent = 50;  // evenly split insert/delete
-  int millis = 200;            // timed window
+  double update_percent = 50;    // fraction of ops that are updates
+  double insert_fraction = 0.5;  // updates split: inserts vs deletes
+  int millis = 200;              // timed window
   uint64_t seed = 12345;
 };
 
@@ -64,12 +65,11 @@ void prefill_half(Set& set, uint64_t range, int threads = 0) {
   for (auto& th : ts) th.join();
 }
 
-/// Growth-phase workload: insert every key of [1, range] from `threads`
-/// threads into a (typically much smaller-hinted) structure and time it —
-/// the insert-heavy ramp a freshly deployed serving instance sees. Returns
-/// the usual run_result (ops = range, all inserts).
-template <class Set>
-run_result run_growth(Set& set, uint64_t range, int threads = 0) {
+/// Shared frame for the deterministic full-keyspace passes below: apply
+/// `op(k)` to every key of [1, range], striped across `threads` threads,
+/// timing the whole pass and counting applications that returned true.
+template <class Op>
+run_result run_keyed_pass(uint64_t range, int threads, Op&& op) {
   if (threads <= 0)
     threads = static_cast<int>(std::thread::hardware_concurrency());
   std::atomic<uint64_t> applied{0};
@@ -80,7 +80,7 @@ run_result run_growth(Set& set, uint64_t range, int threads = 0) {
       uint64_t mine = 0;
       for (uint64_t k = 1 + static_cast<uint64_t>(t); k <= range;
            k += static_cast<uint64_t>(threads))
-        if (set.insert(k, k)) mine++;
+        if (op(k)) mine++;
       applied.fetch_add(mine, std::memory_order_relaxed);
     });
   }
@@ -91,9 +91,32 @@ run_result run_growth(Set& set, uint64_t range, int threads = 0) {
   run_result res;
   res.seconds = secs;
   res.total_ops = range;
-  res.inserts = range;
   res.successful_updates = applied.load();
   res.mops = static_cast<double>(range) / secs / 1e6;
+  return res;
+}
+
+/// Growth-phase workload: insert every key of [1, range] from `threads`
+/// threads into a (typically much smaller-hinted) structure and time it —
+/// the insert-heavy ramp a freshly deployed serving instance sees. Returns
+/// the usual run_result (ops = range, all inserts).
+template <class Set>
+run_result run_growth(Set& set, uint64_t range, int threads = 0) {
+  run_result res = run_keyed_pass(
+      range, threads, [&](uint64_t k) { return set.insert(k, k); });
+  res.inserts = range;
+  return res;
+}
+
+/// Drain-phase workload: remove every key of [1, range] from `threads`
+/// threads — the delete-heavy decommission a store sees after a tenant
+/// departs, and the deterministic way to push occupancy below the shrink
+/// threshold. successful_updates counts removals that found their key.
+template <class Set>
+run_result run_drain(Set& set, uint64_t range, int threads = 0) {
+  run_result res = run_keyed_pass(range, threads,
+                                  [&](uint64_t k) { return set.remove(k); });
+  res.removes = range;
   return res;
 }
 
@@ -114,6 +137,10 @@ run_result run_mixed(Set& set, const zipf_distribution& dist,
     counters& c = per_thread[static_cast<size_t>(tid)];
     const uint64_t upd_threshold =
         static_cast<uint64_t>(cfg.update_percent * 0.01 * 4294967296.0);
+    // Insert-vs-delete decided on bits [32,62] of the same draw — disjoint
+    // from the update decision's low 32 bits, so the two stay independent.
+    const uint64_t ins_threshold =
+        static_cast<uint64_t>(cfg.insert_fraction * 2147483648.0);
     ready.fetch_add(1);
     while (!go.load(std::memory_order_acquire)) {
     }
@@ -122,7 +149,7 @@ run_result run_mixed(Set& set, const zipf_distribution& dist,
         uint64_t k = dist.sample(rng);
         uint64_t r = rng.next();
         if ((r & 0xFFFFFFFFu) < upd_threshold) {
-          if (r >> 63) {
+          if (((r >> 32) & 0x7FFFFFFFu) < ins_threshold) {
             c.ins++;
             if (set.insert(k, k)) c.upd_ok++;
           } else {
@@ -162,6 +189,62 @@ run_result run_mixed(Set& set, const zipf_distribution& dist,
   }
   res.mops = static_cast<double>(res.total_ops) / secs / 1e6;
   return res;
+}
+
+/// Churn lifecycle: the three consecutive traffic shapes a long-lived
+/// serving store cycles through — an insert-heavy ramp (deploy /
+/// backfill), a delete-heavy drain (tenant departure / TTL sweep), then
+/// steady mixed traffic. Each phase is a run_mixed window over the same
+/// keyspace; the drain phase is what exercises table SHRINK: resident
+/// keys decay toward the insert/delete equilibrium, and once occupancy
+/// falls under 1/4 of the bucket count the store starts installing
+/// half-size successors under the very same YCSB-like traffic.
+struct churn_config {
+  int threads = 4;
+  uint64_t seed = 12345;
+  int ramp_millis = 200, drain_millis = 200, steady_millis = 200;
+  double ramp_update = 90, ramp_insert_fraction = 0.95;
+  double drain_update = 90, drain_insert_fraction = 0.05;
+  double steady_update = 50, steady_insert_fraction = 0.5;
+};
+
+struct churn_result {
+  run_result ramp, drain, steady;
+};
+
+/// `on_phase(name, result)` fires between phases, while the structure
+/// still holds that phase's end state — the only moment a caller can
+/// observe the ramp's bucket peak or the drain's trough before the next
+/// phase moves the population again.
+template <class Set, class OnPhase>
+churn_result run_churn(Set& set, const zipf_distribution& dist,
+                       const churn_config& cfg, OnPhase&& on_phase) {
+  auto phase = [&](double upd, double insf, int ms, uint64_t salt) {
+    run_config rc;
+    rc.threads = cfg.threads;
+    rc.update_percent = upd;
+    rc.insert_fraction = insf;
+    rc.millis = ms;
+    rc.seed = cfg.seed ^ salt;
+    return run_mixed(set, dist, rc);
+  };
+  churn_result r;
+  r.ramp = phase(cfg.ramp_update, cfg.ramp_insert_fraction, cfg.ramp_millis,
+                 0x9E3779B9ULL);
+  on_phase("ramp", r.ramp);
+  r.drain = phase(cfg.drain_update, cfg.drain_insert_fraction,
+                  cfg.drain_millis, 0x7F4A7C15ULL);
+  on_phase("drain", r.drain);
+  r.steady = phase(cfg.steady_update, cfg.steady_insert_fraction,
+                   cfg.steady_millis, 0x85EBCA6BULL);
+  on_phase("steady", r.steady);
+  return r;
+}
+
+template <class Set>
+churn_result run_churn(Set& set, const zipf_distribution& dist,
+                       const churn_config& cfg) {
+  return run_churn(set, dist, cfg, [](const char*, const run_result&) {});
 }
 
 }  // namespace flock_workload

@@ -23,6 +23,7 @@
 #include "ds/lazylist.hpp"
 #include "ds/leaftree.hpp"
 #include "ds/leaftreap.hpp"
+#include "store/sharded_map.hpp"
 #include "zipf.hpp"
 
 namespace flock_workload {
@@ -40,8 +41,19 @@ class set_adapter {
   bool remove(uint64_t k) { return ds_.remove(k); }
   std::optional<uint64_t> find(uint64_t k) { return ds_.find(k); }
   std::size_t size() const { return ds_.size(); }
+  /// Stats-line population read: the structure's O(#counter-shards)
+  /// estimate where one exists (hashtable, sharded_map), else the exact
+  /// scan — so demo stats lines can print population without paying an
+  /// O(n) walk on structures that track occupancy.
+  std::size_t approx_size() const {
+    if constexpr (requires(const DS& d) { d.approx_size(); })
+      return ds_.approx_size();
+    else
+      return ds_.size();
+  }
   bool check_invariants() const { return ds_.check_invariants(); }
   DS& underlying() { return ds_; }
+  const DS& underlying() const { return ds_; }
 
  private:
   DS ds_;
@@ -73,6 +85,8 @@ using lazylist_strict = set_adapter<flock_ds::lazylist<uint64_t, uint64_t, true>
 using dlist_try = set_adapter<flock_ds::dlist<uint64_t, uint64_t, false>>;
 using dlist_strict = set_adapter<flock_ds::dlist<uint64_t, uint64_t, true>>;
 using hashtable_try = set_adapter<flock_ds::hashtable<uint64_t, uint64_t, false>>;
+using sharded_try = set_adapter<flock_store::sharded_map<uint64_t, uint64_t, false>>;
+using sharded_strict = set_adapter<flock_store::sharded_map<uint64_t, uint64_t, true>>;
 using leaftree_try = set_adapter<flock_ds::leaftree<uint64_t, uint64_t, false>>;
 using leaftree_strict = set_adapter<flock_ds::leaftree<uint64_t, uint64_t, true>>;
 using leaftreap_try = set_adapter<flock_ds::leaftreap<uint64_t, uint64_t, false>>;

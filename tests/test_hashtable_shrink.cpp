@@ -1,0 +1,266 @@
+// Bidirectional incremental resizing (ds/hashtable.hpp): delete-heavy
+// drains must bring bucket_count() back down through merged half-size
+// successors, grow -> shrink -> grow oscillation keeps every invariant in
+// both lock modes, and the 1/4-vs-1 hysteresis band prevents resize
+// thrash under a steady mid-band workload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ds/move.hpp"
+#include "workload/driver.hpp"
+#include "workload/set_adapter.hpp"
+
+namespace {
+
+using ht_try = flock_ds::hashtable<uint64_t, uint64_t, false>;
+using ht_strict = flock_ds::hashtable<uint64_t, uint64_t, true>;
+
+// Shrink is driven by update traffic (migration helping and the resize
+// policy both ride note_update), so a drained-but-idle table stays big by
+// design. This supplies the steady trickle: paired insert/remove over a
+// tiny disjoint key range, which keeps occupancy flat while ticking the
+// policy and helping claimed migration units until the table bottoms out
+// or the op budget runs dry.
+template <class HT>
+void churn_until_shrunk(HT& t, std::size_t target_buckets,
+                        uint64_t key_base = 1u << 30,
+                        std::size_t max_ops = 1u << 20) {
+  for (std::size_t i = 0; i < max_ops; i++) {
+    uint64_t k = key_base + (i & 255);
+    t.insert(k, 1);
+    t.remove(k);
+    if ((i & 1023) == 0 && t.bucket_count() <= target_buckets) return;
+  }
+}
+
+class HashtableShrinkTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { flock::set_blocking(GetParam()); }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+TEST_P(HashtableShrinkTest, DrainShrinksBucketCount) {
+  ht_try t(64);
+  const uint64_t n = 1 << 15;
+  for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.insert(k, k));
+  const std::size_t peak = t.bucket_count();
+  ASSERT_GE(peak, static_cast<std::size_t>(n / 2));
+  for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.remove(k));
+
+  churn_until_shrunk(t, 64);
+
+  EXPECT_LE(t.bucket_count(), peak / 4) << "table failed to shrink";
+  EXPECT_GE(t.shrink_count(), 1u);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST_P(HashtableShrinkTest, ShrinkPreservesResidentKeysAndValues) {
+  // Drain all but every 64th key: the survivors ride every merge on the
+  // way down and must come out with their values intact.
+  ht_try t(64);
+  const uint64_t n = 1 << 14;
+  for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.insert(k, k * 5));
+  const std::size_t peak = t.bucket_count();
+  for (uint64_t k = 1; k <= n; k++)
+    if (k % 64 != 0) ASSERT_TRUE(t.remove(k));
+
+  churn_until_shrunk(t, peak / 8);
+
+  EXPECT_LE(t.bucket_count(), peak / 4);
+  EXPECT_TRUE(t.check_invariants());
+  for (uint64_t k = 64; k <= n; k += 64) {
+    auto v = t.find(k);
+    ASSERT_TRUE(v.has_value()) << "survivor " << k << " lost in a merge";
+    ASSERT_EQ(*v, k * 5);
+  }
+  EXPECT_EQ(t.size(), n / 64);
+}
+
+TEST_P(HashtableShrinkTest, GrowShrinkGrowOscillation) {
+  ht_try t(64);
+  const uint64_t n = 1 << 14;
+  // Grow.
+  for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.insert(k, k));
+  const std::size_t peak = t.bucket_count();
+  ASSERT_GE(peak, static_cast<std::size_t>(n / 2));
+  // Shrink.
+  for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.remove(k));
+  churn_until_shrunk(t, 64);
+  const std::size_t trough = t.bucket_count();
+  EXPECT_LE(trough, peak / 4);
+  EXPECT_TRUE(t.check_invariants());
+  // Grow again: the shrunk table must ramp back up like a fresh one.
+  for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.insert(k, k * 9));
+  EXPECT_GE(t.bucket_count(), static_cast<std::size_t>(n / 2));
+  EXPECT_GE(t.grow_count(), t.shrink_count());
+  EXPECT_TRUE(t.check_invariants());
+  for (uint64_t k = 1; k <= n; k += 97) {
+    auto v = t.find(k);
+    ASSERT_TRUE(v.has_value()) << "key " << k << " lost across oscillation";
+    ASSERT_EQ(*v, k * 9);
+  }
+  EXPECT_EQ(t.size(), n);
+}
+
+TEST_P(HashtableShrinkTest, HysteresisPreventsResizeThrash) {
+  // Population parked mid-band (load factor ~0.75 after the prefill
+  // growth settles): a steady 50/50 workload must trigger ZERO resizes —
+  // the 1/4-vs-1 band means occupancy has to move 2x before either
+  // policy fires, and a symmetric workload holds it flat.
+  const uint64_t range = 3 << 12;  // ~6144 resident of 12288
+  flock_workload::hashtable_try s;
+  flock_workload::prefill_half(s, range, 4);
+
+  ht_try& t = s.underlying();
+  const std::size_t grows_before = t.grow_count();
+  const std::size_t shrinks_before = t.shrink_count();
+  const std::size_t buckets_before = t.bucket_count();
+
+  flock_workload::zipf_distribution dist(range, 0.75);
+  flock_workload::run_config cfg;
+  cfg.threads = 4;
+  cfg.update_percent = 50;
+  cfg.millis = 250;
+  auto res = flock_workload::run_mixed(s, dist, cfg);
+  EXPECT_GT(res.total_ops, 0u);
+
+  EXPECT_EQ(t.grow_count(), grows_before) << "steady workload grew";
+  EXPECT_EQ(t.shrink_count(), shrinks_before) << "steady workload shrank";
+  EXPECT_EQ(t.bucket_count(), buckets_before);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST_P(HashtableShrinkTest, ApproxSizeTracksOccupancy) {
+  ht_try t(64);
+  EXPECT_EQ(t.approx_size(), 0u);
+  const uint64_t n = 5000;
+  for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.insert(k, k));
+  // Quiescent: the counter shards sum to exactly the resident count.
+  EXPECT_EQ(t.approx_size(), n);
+  EXPECT_EQ(t.approx_size(), t.size());
+  for (uint64_t k = 1; k <= n; k += 2) ASSERT_TRUE(t.remove(k));
+  EXPECT_EQ(t.approx_size(), n / 2);
+  EXPECT_EQ(t.approx_size(), t.size());
+}
+
+TEST_P(HashtableShrinkTest, StrictLockVariantShrinks) {
+  ht_strict t(64);
+  const uint64_t n = 1 << 13;
+  for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.insert(k, k));
+  const std::size_t peak = t.bucket_count();
+  for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.remove(k));
+  churn_until_shrunk(t, 64);
+  EXPECT_LE(t.bucket_count(), peak / 4);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST_P(HashtableShrinkTest, ConcurrentDrainAndReadersDuringShrink) {
+  // Survivor keys stay resident through the whole drain; reader threads
+  // must find them with the right value at every instant, including while
+  // the pair-merge critical sections are forwarding the buckets they sit
+  // in. Churn threads keep update traffic flowing so shrink keeps making
+  // progress after the drain empties the main range.
+  ht_try t(64);
+  const uint64_t range = 1 << 15;
+  constexpr uint64_t kSurvivorBase = 1u << 28;
+  constexpr uint64_t kSurvivors = 128;
+  auto g = flock_workload::run_growth(t, range, 4);
+  ASSERT_EQ(g.successful_updates, range);
+  for (uint64_t i = 1; i <= kSurvivors; i++)
+    ASSERT_TRUE(t.insert(kSurvivorBase + i, i * 11));
+  const std::size_t peak = t.bucket_count();
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; r++) {
+    readers.emplace_back([&, r] {
+      uint64_t x = static_cast<uint64_t>(r) + 1;
+      while (!done.load(std::memory_order_relaxed)) {
+        x = flock_ds::splitmix64(x);
+        uint64_t i = x % kSurvivors + 1;
+        auto v = t.find(kSurvivorBase + i);
+        ASSERT_TRUE(v.has_value()) << "survivor " << i << " vanished";
+        ASSERT_EQ(*v, i * 11);
+      }
+    });
+  }
+
+  auto d = flock_workload::run_drain(t, range, 4);
+  EXPECT_EQ(d.successful_updates, range);
+  std::vector<std::thread> churners;
+  for (int c = 0; c < 4; c++) {
+    churners.emplace_back([&, c] {
+      churn_until_shrunk(t, peak / 8,
+                         (1u << 30) + static_cast<uint64_t>(c) * 4096,
+                         1u << 18);
+    });
+  }
+  for (auto& th : churners) th.join();
+  done.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_LE(t.bucket_count(), peak / 4) << "concurrent drain never shrank";
+  EXPECT_GE(t.shrink_count(), 1u);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.size(), kSurvivors);
+}
+
+TEST_P(HashtableShrinkTest, MoveComposesWithShrink) {
+  // try_move's nested bucket critical sections re-validate forwarded
+  // flags, so moves must stay conservation-safe while the SOURCE table is
+  // actively shrinking underneath them.
+  ht_try a(64), b(64);
+  const uint64_t grow_n = 1 << 14;
+  constexpr uint64_t kKeys = 64;
+  for (uint64_t k = 1; k <= kKeys; k++) ASSERT_TRUE(a.insert(k, k * 7));
+  for (uint64_t k = 1; k <= grow_n; k++)
+    ASSERT_TRUE(a.insert(1000000 + k, k));
+  const std::size_t peak = a.bucket_count();
+
+  std::vector<std::thread> ts;
+  for (int m = 0; m < 2; m++) {
+    ts.emplace_back([&, m] {
+      uint64_t x = static_cast<uint64_t>(m) * 31 + 7;
+      for (int i = 0; i < 20000; i++) {
+        x = flock_ds::splitmix64(x);
+        uint64_t k = x % kKeys + 1;
+        if (x & 1)
+          flock_ds::try_move(a, b, k);
+        else
+          flock_ds::try_move(b, a, k);
+      }
+    });
+  }
+  // Drain + churn drives a's shrink while the movers shuttle.
+  ts.emplace_back([&] {
+    for (uint64_t k = 1; k <= grow_n; k++) a.remove(1000000 + k);
+    churn_until_shrunk(a, peak / 8, 1u << 29, 1u << 19);
+  });
+  for (auto& th : ts) th.join();
+
+  EXPECT_LE(a.bucket_count(), peak / 4);
+  EXPECT_TRUE(a.check_invariants());
+  EXPECT_TRUE(b.check_invariants());
+  for (uint64_t k = 1; k <= kKeys; k++) {
+    bool in_a = a.find(k).has_value();
+    bool in_b = b.find(k).has_value();
+    ASSERT_TRUE(in_a != in_b) << "key " << k << " lost or duplicated";
+    ASSERT_EQ(in_a ? *a.find(k) : *b.find(k), k * 7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, HashtableShrinkTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& i) {
+                           return i.param ? "blocking" : "lockfree";
+                         });
+
+}  // namespace

@@ -39,6 +39,26 @@ TEST_P(MoveTest, BasicSemantics) {
   EXPECT_TRUE(b.check_invariants());
 }
 
+TEST_P(MoveTest, RetryExKeepsExhaustionDistinctFromNotMovable) {
+  list_t a, b;
+  a.insert(1, 10);
+  EXPECT_EQ(flock_ds::move_retry_ex(a, b, 1), flock_ds::move_outcome::moved);
+  EXPECT_EQ(flock_ds::move_retry_ex(a, b, 1),
+            flock_ds::move_outcome::not_movable);  // gone from source
+  a.insert(2, 20);
+  b.insert(2, 22);
+  EXPECT_EQ(flock_ds::move_retry_ex(a, b, 2),
+            flock_ds::move_outcome::not_movable);  // already in dest
+  // A spent attempt budget is a different fact: nothing was validated,
+  // the caller must treat the key as still pending.
+  EXPECT_EQ(flock_ds::move_retry_ex(a, b, 2, 0),
+            flock_ds::move_outcome::exhausted);
+  // The bool wrapper keeps its old contract (true iff moved).
+  EXPECT_FALSE(flock_ds::move_retry(a, b, 2));
+  EXPECT_EQ(*a.find(2), 20u);
+  EXPECT_EQ(*b.find(2), 22u);
+}
+
 TEST_P(MoveTest, SelfMoveRejected) {
   list_t a;
   a.insert(5, 50);
