@@ -202,14 +202,24 @@ class json_reporter {
                  "    \"helps_run\": %llu,\n"
                  "    \"descriptors_reused\": %llu,\n"
                  "    \"helps_avoided\": %llu,\n"
-                 "    \"backoff_spins\": %llu\n"
+                 "    \"backoff_spins\": %llu,\n"
+                 "    \"alloc_failures\": %llu,\n"
+                 "    \"resize_deferrals\": %llu,\n"
+                 "    \"chaos_stalls\": %llu,\n"
+                 "    \"chaos_kills\": %llu,\n"
+                 "    \"chaos_alloc_fails\": %llu\n"
                  "  }\n}\n",
                  static_cast<unsigned long long>(s.descriptors_created),
                  static_cast<unsigned long long>(s.helps_attempted),
                  static_cast<unsigned long long>(s.helps_run),
                  static_cast<unsigned long long>(s.descriptors_reused),
                  static_cast<unsigned long long>(s.helps_avoided),
-                 static_cast<unsigned long long>(s.backoff_spins));
+                 static_cast<unsigned long long>(s.backoff_spins),
+                 static_cast<unsigned long long>(s.alloc_failures),
+                 static_cast<unsigned long long>(s.resize_deferrals),
+                 static_cast<unsigned long long>(s.chaos_stalls),
+                 static_cast<unsigned long long>(s.chaos_kills),
+                 static_cast<unsigned long long>(s.chaos_alloc_fails));
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", path);
   }

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contended_locks.dir/bench/contended_locks.cpp.o"
+  "CMakeFiles/contended_locks.dir/bench/contended_locks.cpp.o.d"
+  "contended_locks"
+  "contended_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contended_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

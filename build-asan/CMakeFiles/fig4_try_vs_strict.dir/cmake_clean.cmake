@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_try_vs_strict.dir/bench/fig4_try_vs_strict.cpp.o"
+  "CMakeFiles/fig4_try_vs_strict.dir/bench/fig4_try_vs_strict.cpp.o.d"
+  "fig4_try_vs_strict"
+  "fig4_try_vs_strict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_try_vs_strict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_try_vs_strict.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_trees.dir/bench/fig5_trees.cpp.o"
+  "CMakeFiles/fig5_trees.dir/bench/fig5_trees.cpp.o.d"
+  "fig5_trees"
+  "fig5_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sets.dir/bench/fig6_sets.cpp.o"
+  "CMakeFiles/fig6_sets.dir/bench/fig6_sets.cpp.o.d"
+  "fig6_sets"
+  "fig6_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lists.dir/bench/fig7_lists.cpp.o"
+  "CMakeFiles/fig7_lists.dir/bench/fig7_lists.cpp.o.d"
+  "fig7_lists"
+  "fig7_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversubscription_demo.dir/examples/oversubscription_demo.cpp.o"
+  "CMakeFiles/oversubscription_demo.dir/examples/oversubscription_demo.cpp.o.d"
+  "oversubscription_demo"
+  "oversubscription_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversubscription_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abtree.dir/tests/test_abtree.cpp.o"
+  "CMakeFiles/test_abtree.dir/tests/test_abtree.cpp.o.d"
+  "test_abtree"
+  "test_abtree.pdb"
+  "test_abtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

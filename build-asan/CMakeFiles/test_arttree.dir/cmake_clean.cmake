@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arttree.dir/tests/test_arttree.cpp.o"
+  "CMakeFiles/test_arttree.dir/tests/test_arttree.cpp.o.d"
+  "test_arttree"
+  "test_arttree.pdb"
+  "test_arttree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arttree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backoff.dir/tests/test_backoff.cpp.o"
+  "CMakeFiles/test_backoff.dir/tests/test_backoff.cpp.o.d"
+  "test_backoff"
+  "test_backoff.pdb"
+  "test_backoff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlist.dir/tests/test_dlist.cpp.o"
+  "CMakeFiles/test_dlist.dir/tests/test_dlist.cpp.o.d"
+  "test_dlist"
+  "test_dlist.pdb"
+  "test_dlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashtable.dir/tests/test_hashtable.cpp.o"
+  "CMakeFiles/test_hashtable.dir/tests/test_hashtable.cpp.o.d"
+  "test_hashtable"
+  "test_hashtable.pdb"
+  "test_hashtable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

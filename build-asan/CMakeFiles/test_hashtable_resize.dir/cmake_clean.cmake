@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashtable_resize.dir/tests/test_hashtable_resize.cpp.o"
+  "CMakeFiles/test_hashtable_resize.dir/tests/test_hashtable_resize.cpp.o.d"
+  "test_hashtable_resize"
+  "test_hashtable_resize.pdb"
+  "test_hashtable_resize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashtable_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hashtable_resize.
+# This may be replaced when dependencies are built.

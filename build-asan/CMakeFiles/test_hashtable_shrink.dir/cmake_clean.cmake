@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashtable_shrink.dir/tests/test_hashtable_shrink.cpp.o"
+  "CMakeFiles/test_hashtable_shrink.dir/tests/test_hashtable_shrink.cpp.o.d"
+  "test_hashtable_shrink"
+  "test_hashtable_shrink.pdb"
+  "test_hashtable_shrink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashtable_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hot_path.dir/tests/test_hot_path.cpp.o"
+  "CMakeFiles/test_hot_path.dir/tests/test_hot_path.cpp.o.d"
+  "test_hot_path"
+  "test_hot_path.pdb"
+  "test_hot_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hot_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idempotence.dir/tests/test_idempotence.cpp.o"
+  "CMakeFiles/test_idempotence.dir/tests/test_idempotence.cpp.o.d"
+  "test_idempotence"
+  "test_idempotence.pdb"
+  "test_idempotence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idempotence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lazylist.dir/tests/test_lazylist.cpp.o"
+  "CMakeFiles/test_lazylist.dir/tests/test_lazylist.cpp.o.d"
+  "test_lazylist"
+  "test_lazylist.pdb"
+  "test_lazylist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lazylist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leaftreap.dir/tests/test_leaftreap.cpp.o"
+  "CMakeFiles/test_leaftreap.dir/tests/test_leaftreap.cpp.o.d"
+  "test_leaftreap"
+  "test_leaftreap.pdb"
+  "test_leaftreap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leaftreap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leaftree.dir/tests/test_leaftree.cpp.o"
+  "CMakeFiles/test_leaftree.dir/tests/test_leaftree.cpp.o.d"
+  "test_leaftree"
+  "test_leaftree.pdb"
+  "test_leaftree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leaftree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

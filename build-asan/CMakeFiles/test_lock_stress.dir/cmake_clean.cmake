@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock_stress.dir/tests/test_lock_stress.cpp.o"
+  "CMakeFiles/test_lock_stress.dir/tests/test_lock_stress.cpp.o.d"
+  "test_lock_stress"
+  "test_lock_stress.pdb"
+  "test_lock_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_move.dir/tests/test_move.cpp.o"
+  "CMakeFiles/test_move.dir/tests/test_move.cpp.o.d"
+  "test_move"
+  "test_move.pdb"
+  "test_move[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_move.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutable.dir/tests/test_mutable.cpp.o"
+  "CMakeFiles/test_mutable.dir/tests/test_mutable.cpp.o.d"
+  "test_mutable"
+  "test_mutable.pdb"
+  "test_mutable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

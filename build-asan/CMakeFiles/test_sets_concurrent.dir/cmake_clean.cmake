@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sets_concurrent.dir/tests/test_sets_concurrent.cpp.o"
+  "CMakeFiles/test_sets_concurrent.dir/tests/test_sets_concurrent.cpp.o.d"
+  "test_sets_concurrent"
+  "test_sets_concurrent.pdb"
+  "test_sets_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sets_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharded_map.dir/tests/test_sharded_map.cpp.o"
+  "CMakeFiles/test_sharded_map.dir/tests/test_sharded_map.cpp.o.d"
+  "test_sharded_map"
+  "test_sharded_map.pdb"
+  "test_sharded_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharded_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

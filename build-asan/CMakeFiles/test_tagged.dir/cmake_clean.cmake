@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tagged.dir/tests/test_tagged.cpp.o"
+  "CMakeFiles/test_tagged.dir/tests/test_tagged.cpp.o.d"
+  "test_tagged"
+  "test_tagged.pdb"
+  "test_tagged[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tagged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thunk.dir/tests/test_thunk.cpp.o"
+  "CMakeFiles/test_thunk.dir/tests/test_thunk.cpp.o.d"
+  "test_thunk"
+  "test_thunk.pdb"
+  "test_thunk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_once.dir/tests/test_write_once.cpp.o"
+  "CMakeFiles/test_write_once.dir/tests/test_write_once.cpp.o.d"
+  "test_write_once"
+  "test_write_once.pdb"
+  "test_write_once[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_once.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

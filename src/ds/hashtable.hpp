@@ -62,11 +62,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "chaos/faultpoint.hpp"
 #include "flock/flock.hpp"
 
 namespace flock_ds {
@@ -147,7 +150,15 @@ class hashtable {
   explicit hashtable(std::size_t size_hint = kMinBuckets) {
     std::size_t b = kMinBuckets;
     while (b < size_hint) b <<= 1;
-    root_.init(make_table(b));
+    table* t = make_table(b);
+    if (t == nullptr) {
+      // The initial table has no degraded mode to fall back to (a resize
+      // can be deferred, construction cannot), so this is the one
+      // allocation failure the table treats as fatal — loudly, not UB.
+      std::fprintf(stderr, "flock_ds::hashtable: initial table allocation failed\n");
+      std::abort();
+    }
+    root_.init(t);
   }
 
   ~hashtable() {
@@ -278,9 +289,20 @@ class hashtable {
     return shrinks_.load(std::memory_order_relaxed);
   }
 
+  /// Resizes this table wanted but could not start because the successor
+  /// allocation failed (injected or real OOM); each deferral re-armed the
+  /// trigger. See maybe_resize.
+  std::size_t resize_deferrals() const {
+    return deferrals_.load(std::memory_order_relaxed);
+  }
+
   /// Sorted chains, no removed node reachable, and every key resident in
   /// the bucket its hash selects in that table (cross-bucket corruption).
-  bool check_invariants() const {
+  /// With `audit_migration` set, additionally flags a stuck migration
+  /// (see migration_stuck) — off by default because the audit observes a
+  /// time window and would flake tests that merely pause mid-resize.
+  bool check_invariants(bool audit_migration = false) const {
+    if (audit_migration && migration_stuck()) return false;
     return flock::with_epoch([&] {
       bool ok = true;
       for_each_live_bucket([&](const table* t, std::size_t i,
@@ -296,6 +318,31 @@ class hashtable {
         }
       });
       return ok;
+    });
+  }
+
+  /// Stuck-migration audit: true when a resize is in flight and made no
+  /// observable progress — forwarded-bucket count, migrated count, and
+  /// claim cursor all static — across a bounded observation window. The
+  /// audit is read-only (it never helps), so a positive result means no
+  /// OTHER thread is currently draining the resize. That is not a
+  /// permanent wedge — migration is helper-driven, so any future update
+  /// traffic unsticks it — but it is exactly the signature a killed
+  /// migrator leaves behind when no helpers are running.
+  bool migration_stuck(int window_spins = 1 << 15) const {
+    return flock::with_epoch([&] {
+      table* t = root_.read_raw();
+      table* nt = t->next.read_raw();
+      if (nt == nullptr) return false;  // no resize in flight
+      const std::size_t m0 = t->migrated.load(std::memory_order_acquire);
+      const std::size_t c0 = t->cursor.load(std::memory_order_acquire);
+      const std::size_t f0 = forwarded_count(t);
+      for (int i = 0; i < window_spins; i++) flock::detail::cpu_pause();
+      if (root_.read_raw() != t || t->next.read_raw() != nt)
+        return false;  // resize chain moved: progress
+      return t->migrated.load(std::memory_order_acquire) == m0 &&
+             t->cursor.load(std::memory_order_acquire) == c0 &&
+             forwarded_count(t) == f0;
     });
   }
 
@@ -378,10 +425,18 @@ class hashtable {
     return {prev, cur};
   }
 
+  /// Returns nullptr when either allocation fails (allocator failure
+  /// contract): nothing half-built leaks and nothing null is dereferenced.
   static table* make_table(std::size_t nbuckets) {
     table* t = flock::pool_new<table>();
+    if (t == nullptr) [[unlikely]]
+      return nullptr;
     t->mask = nbuckets - 1;
     t->buckets = flock::array_new<bucket>(nbuckets);
+    if (t->buckets == nullptr) [[unlikely]] {
+      flock::pool_delete(t);
+      return nullptr;
+    }
     t->next.init(nullptr);
     t->migrated.store(0, std::memory_order_relaxed);
     t->cursor.store(0, std::memory_order_relaxed);
@@ -484,6 +539,10 @@ class hashtable {
       chain_head* tail[2] = {lo, hi};
       for (node* c = s->next.load(); c != nullptr; c = c->next.load())
         append_copy(tail[(hash_of(c->k) & bit) ? 1 : 0], c);
+      // Protocol window: copies live, forwarded flag not yet published. A
+      // kill here is the paper's dead-holder scenario mid-migration —
+      // helpers must replay this thunk to completion.
+      FLOCK_FAULTPOINT("ht.grow.pre_publish");
       s->removed = true;  // forwarded: published after the copies are live
       return true;
     });
@@ -547,6 +606,9 @@ class hashtable {
           else
             take(b);
         }
+        // Protocol window: merged chain built privately, single-store
+        // publish not yet issued.
+        FLOCK_FAULTPOINT("ht.merge.pre_publish");
         dst->next = head;     // single publish of the whole merge
         lo->removed = true;   // flags strictly after the publish: a set
         hi->removed = true;   // flag always finds dst fully merged
@@ -607,7 +669,17 @@ class hashtable {
       if (r->next.read_raw() == nullptr ||
           r->migrated.load(std::memory_order_acquire) < r->nbuckets())
         return;
-      if (root_.cas_raw_packed(p, r->next.read_raw())) retire_table(r);
+      // Protocol window: table fully drained, root not yet swung. A kill
+      // here must be rescued by any later helper (advance_root is
+      // idempotent and called from help_resize on every completion check).
+      FLOCK_FAULTPOINT("ht.root.pre_swing");
+      if (root_.cas_raw_packed(p, r->next.read_raw())) {
+        // Window: swing won, drained table not yet retired. A kill here
+        // parks the only thread that can retire `r` — the leak audit in
+        // tests must see the retire happen after release.
+        FLOCK_FAULTPOINT("ht.root.pre_retire");
+        retire_table(r);
+      }
     }
   }
 
@@ -684,7 +756,23 @@ class hashtable {
         flock::detail::cpu_pause();
       if (t->next.read_raw() != nullptr) return;
     }
-    table* nt = make_table(grow ? t->nbuckets() * 2 : t->nbuckets() / 2);
+    // The resize trigger is the table's one *survivable* allocation-failure
+    // surface: a resize is an optimization, so when the successor cannot be
+    // built — an injected "ht.resize.alloc" fault or a real OOM propagated
+    // as make_table's null — the resize is DEFERRED, not crashed on. The
+    // hint is re-armed so a later trigger retries once memory returns, and
+    // the deferral is counted (per-instance and process-wide) so tests and
+    // the stats line can assert the degradation actually happened.
+    table* nt = nullptr;
+    if (!FLOCK_FAULTPOINT_ALLOC_FAIL("ht.resize.alloc")) [[likely]]
+      nt = make_table(grow ? t->nbuckets() * 2 : t->nbuckets() / 2);
+    if (nt == nullptr) [[unlikely]] {
+      deferrals_.fetch_add(1, std::memory_order_relaxed);
+      flock::detail::g_resize_deferrals.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      t->resize_hint.store(false, std::memory_order_release);  // re-arm
+      return;
+    }
     uint64_t p = t->next.read_raw_packed();
     if (flock::val_of(p) != 0 || !t->next.cas_raw_packed(p, nt)) {
       free_table(nt);  // lost the install race; never published
@@ -693,9 +781,17 @@ class hashtable {
     }
   }
 
+  static std::size_t forwarded_count(const table* t) {
+    std::size_t fwd = 0;
+    for (std::size_t i = 0; i <= t->mask; i++)
+      if (t->buckets[i].removed.read_raw()) fwd++;
+    return fwd;
+  }
+
   flock::mutable_<table*> root_;
   counter_shard count_[kCountShards];
   std::atomic<std::size_t> grows_{0}, shrinks_{0};
+  std::atomic<std::size_t> deferrals_{0};
 };
 
 /// Atomically move key `k` (and its value) between two hashtables, the
@@ -724,6 +820,8 @@ bool try_move(hashtable<K, V, Strict>& from, hashtable<K, V, Strict>& to,
     if (tcur != nullptr && tcur->k == k && !tcur->removed.load())
       return false;  // already in dest
     auto splice = [=] {
+      // Window: both bucket locks held, neither side spliced yet.
+      FLOCK_FAULTPOINT("ht.move.pre_splice");
       if (fs->removed.load() || ts->removed.load()) return false;
       if (fprev != fs && fprev->removed.load()) return false;
       if (fcur->removed.load()) return false;

@@ -13,6 +13,18 @@
 //
 // The pool also supports the paper's "shuffle" trick (§8): pre-allocating
 // a large batch and freeing it in random order to decorrelate placement.
+//
+// Failure contract (unified for pool_new / pool_new_ctx / array_new): an
+// allocation that cannot be satisfied — the backing `operator new`
+// returning null, or an injected `alloc.refill` / `alloc.array` fault
+// (chaos/faultpoint.hpp) — returns **nullptr** and bumps the process-wide
+// `alloc_failures()` counter. No constructor runs, no pool bookkeeping
+// moves, and nothing is ever dereferenced on the failure path; callers
+// that cannot tolerate null (most of the runtime: descriptors, nodes)
+// inherit whatever their context does with null, while callers with a
+// degraded mode (the hashtable's resize trigger) check and defer. Before
+// this contract, a null slab return was silent UB (the placement new ran
+// on nullptr).
 #pragma once
 
 #include <algorithm>
@@ -24,12 +36,17 @@
 #include <utility>
 #include <vector>
 
+#include "chaos/faultpoint.hpp"
 #include "config.hpp"
 #include "thread_context.hpp"
 #include "threading.hpp"
 
 namespace flock {
 namespace detail {
+
+// Allocation failures observed (null slab/array returns, injected or
+// real). Monotonic, like the per-thread stat counters.
+inline std::atomic<uint64_t> g_alloc_failures{0};
 
 /// Untyped per-thread free-list pool for blocks of a fixed size/alignment.
 /// All state is static and zero-initialized, so access needs no singleton
@@ -57,11 +74,18 @@ class raw_pool {
   };
 
  public:
+  /// Returns nullptr on slab-refill failure (see the failure contract in
+  /// the header comment); the pool state is untouched in that case.
   static void* allocate(thread_context* c) {
     per_thread& t = slots_[c->id];
     free_node* n = t.head;
-    if (n == nullptr) [[unlikely]]
+    if (n == nullptr) [[unlikely]] {
       n = refill(t);
+      if (n == nullptr) [[unlikely]] {
+        g_alloc_failures.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+    }
     t.head = n->next;
     ++t.outstanding;
     return n;
@@ -97,9 +121,17 @@ class raw_pool {
   }
 
  private:
+  /// Returns nullptr when the slab allocation fails (injected fault or a
+  /// real OOM from the nothrow operator new); the free list and slab
+  /// chain are untouched in that case.
   [[gnu::noinline]] static free_node* refill(per_thread& t) {
+    // One alloc-site faultpoint: stall/kill entries armed here fire too.
+    if (FLOCK_FAULTPOINT_ALLOC_FAIL("alloc.refill")) [[unlikely]]
+      return nullptr;
     void* mem = ::operator new(kHeader + kSlot * kSlabObjects,
-                               std::align_val_t{Align});
+                               std::align_val_t{Align}, std::nothrow);
+    if (mem == nullptr) [[unlikely]]
+      return nullptr;
     auto* link = static_cast<slab_link*>(mem);
     link->next = t.slabs;
     t.slabs = link;
@@ -139,9 +171,12 @@ template <class T>
 using pool_for = raw_pool<sizeof(T), alignof(T) < 8 ? 8 : alignof(T)>;
 
 /// Context-threaded allocation for hot paths that already hold a context.
+/// Propagates the pool's null on failure (no constructor runs).
 template <class T, class... Args>
 T* pool_new_ctx(thread_context* c, Args&&... args) {
   void* mem = pool_for<T>::allocate(c);
+  if (mem == nullptr) [[unlikely]]
+    return nullptr;
   return ::new (mem) T(std::forward<Args>(args)...);
 }
 
@@ -179,11 +214,20 @@ struct array_layout {
 
 /// Allocate a default-constructed T[n] whose length is recorded alongside
 /// it, so it can be deleted (or epoch-retired) from the pointer alone.
+/// Returns nullptr on failure — injected (`alloc.array` faultpoint) or a
+/// real OOM — with an `alloc_failures()` bump and no constructors run
+/// (the same contract as pool_new, see the header comment).
 template <class T>
 T* array_new(std::size_t n) {
   using L = detail::array_layout<T>;
-  void* mem =
-      ::operator new(L::kHeader + n * sizeof(T), std::align_val_t{L::kAlign});
+  void* mem = nullptr;
+  if (!FLOCK_FAULTPOINT_ALLOC_FAIL("alloc.array")) [[likely]]
+    mem = ::operator new(L::kHeader + n * sizeof(T),
+                         std::align_val_t{L::kAlign}, std::nothrow);
+  if (mem == nullptr) [[unlikely]] {
+    detail::g_alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   T* base = reinterpret_cast<T*>(static_cast<char*>(mem) + L::kHeader);
   L::count_of(base) = n;
   for (std::size_t i = 0; i < n; i++) ::new (static_cast<void*>(base + i)) T();
@@ -218,6 +262,12 @@ void array_delete_erased(void* p) {
 /// Live array_new arrays across all types (leak accounting in tests).
 inline long long arrays_outstanding() {
   return detail::g_arrays_outstanding.load(std::memory_order_acquire);
+}
+
+/// Allocation failures observed process-wide (pool slab refills and
+/// array_new headers that returned null — injected or real). Monotonic.
+inline uint64_t alloc_failures() {
+  return detail::g_alloc_failures.load(std::memory_order_relaxed);
 }
 
 /// Construct a T from a per-thread pool.

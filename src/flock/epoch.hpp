@@ -38,6 +38,7 @@
 #include <cstdint>
 
 #include "allocator.hpp"
+#include "chaos/faultpoint.hpp"
 #include "config.hpp"
 #include "thread_context.hpp"
 #include "threading.hpp"
@@ -74,6 +75,7 @@ class epoch_manager {
   }
 
   void retire_ctx(detail::thread_context* c, void* p, void (*del)(void*)) {
+    FLOCK_FAULTPOINT("epoch.retire");
     detail::retire_batch* b = c->open;
     if (b == nullptr) [[unlikely]]
       b = c->open = alloc_batch(c);
@@ -186,6 +188,7 @@ class epoch_manager {
   }
 
   void seal_and_reclaim(detail::thread_context* c) {
+    FLOCK_FAULTPOINT("epoch.seal");
     seal(c);
     // Cheap pass: the cached bound, no scanning.
     drain_sealed(c, min_bound_.load(std::memory_order_acquire));

@@ -91,6 +91,7 @@
 #include <utility>
 
 #include "backoff.hpp"
+#include "chaos/faultpoint.hpp"
 #include "config.hpp"
 #include "descriptor.hpp"
 #include "epoch.hpp"
@@ -127,6 +128,9 @@ template <bool Ccas>
 inline bool run_and_unlock(thread_context* c, lock_word& st, descriptor* d) {
   bool result = d->run(c);
   d->done.store(true, std::memory_order_release);
+  // Chaos window: done published, unlock CAS pending — the finish-line
+  // stall that help_throttled's done-but-locked signal targets.
+  FLOCK_FAULTPOINT("lock.handoff.pre_unlock");
   raw_unlock<Ccas>(c, st, d);
   return result;
 }
@@ -146,6 +150,10 @@ inline void help(thread_context* c, lock_word& st, uint64_t cur_packed) {
   int64_t prev = g_epoch.adopt_ctx(c, d->epoch);
   if (st.read_raw_packed_sc() == cur_packed) {
     c->stat_ran++;
+    // Chaos window: helper validated and adopted, about to run the thunk
+    // (a dead helper here must not wedge anyone — others revalidate and
+    // run the same descriptor).
+    FLOCK_FAULTPOINT("lock.help.pre_run");
     run_and_unlock<Ccas>(c, st, d);
   }
   g_epoch.restore_ctx(c, prev);
@@ -260,6 +268,10 @@ bool try_lock_helping_toplevel(thread_context* c, lock_word& st, F&& f) {
     if (lv_locked(val_of(fresh))) help_throttled<Ccas>(c, st, fresh);
     return false;
   }
+  // Chaos window: descriptor installed, thunk not yet run — the paper's
+  // dead-holder scenario (a kill here parks holding the lock; helpers
+  // must finish the critical section).
+  FLOCK_FAULTPOINT("lock.install.post");
   bool result = run_and_unlock<Ccas>(c, st, d);
   retire_installed_toplevel<Ccas>(c, d);
   return result;
@@ -278,6 +290,9 @@ bool try_lock_helping(thread_context* c, lock_word& st, F&& f) {
         create_descriptor_ctx<Ccas>(c, std::forward<F>(f));  // logged alloc
     uint64_t minev = reinterpret_cast<uint64_t>(d) | kLockedBit;
     st.cas_raw_packed_ctx<Ccas>(c, cur, minev);  // install CAM: effects-once
+    // Chaos window (nested): install CAM issued, acquisition not yet
+    // judged. Consumes no log slots, so replays may legally diverge here.
+    FLOCK_FAULTPOINT("lock.install.post");
     uint64_t nowv = val_of(st.load_packed_ctx<Ccas>(c));  // logged
     bool d_done =
         commit_bool_ctx<Ccas>(c, d->done.load(std::memory_order_acquire));
@@ -314,6 +329,7 @@ bool strict_lock_helping(thread_context* c, lock_word& st, F&& f) {
       uint64_t cur = st.read_raw_packed();
       if (!lv_locked(val_of(cur))) {
         if (st.cas_raw_packed_ctx<false>(c, cur, minev)) {
+          FLOCK_FAULTPOINT("lock.install.post");
           bool result = run_and_unlock<Ccas>(c, st, d);
           retire_installed_toplevel<Ccas>(c, d);
           return result;
@@ -330,6 +346,7 @@ bool strict_lock_helping(thread_context* c, lock_word& st, F&& f) {
     uint64_t cur = st.load_packed_ctx<Ccas>(c);  // logged
     if (!lv_locked(val_of(cur))) {
       st.cas_raw_packed_ctx<Ccas>(c, cur, minev);
+      FLOCK_FAULTPOINT("lock.install.post");  // no log slots consumed
       uint64_t nowv = val_of(st.load_packed_ctx<Ccas>(c));  // logged
       bool d_done =
           commit_bool_ctx<Ccas>(c, d->done.load(std::memory_order_acquire));

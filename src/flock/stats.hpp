@@ -6,13 +6,24 @@
 // helping actually happened.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
+#include "allocator.hpp"
+#include "chaos/faultpoint.hpp"
 #include "config.hpp"
 #include "thread_context.hpp"
 #include "threading.hpp"
 
 namespace flock {
+namespace detail {
+
+// Resizes deferred because the successor-table allocation failed
+// (injected "ht.resize.alloc" fault or real OOM); bumped by the ds tier
+// (hashtable.hpp), aggregated here. Monotonic, process-wide.
+inline std::atomic<uint64_t> g_resize_deferrals{0};
+
+}  // namespace detail
 
 struct stats_snapshot {
   uint64_t descriptors_created = 0;  // lock acquisitions (lock-free mode)
@@ -21,9 +32,21 @@ struct stats_snapshot {
   uint64_t descriptors_reused = 0;   // fast-path pool reuse (never helped)
   uint64_t helps_avoided = 0;        // throttled waits resolved without a help
   uint64_t backoff_spins = 0;        // cpu_pause iterations spent backing off
+  // Fault-tolerance counters (chaos instrumentation + allocation failure
+  // contract; all zero in builds without FLOCK_CHAOS and without OOM).
+  uint64_t alloc_failures = 0;       // null pool/array returns (allocator.hpp)
+  uint64_t resize_deferrals = 0;     // resizes deferred on allocation failure
+  uint64_t chaos_stalls = 0;         // injected stalls (chaos/faultpoint.hpp)
+  uint64_t chaos_kills = 0;          // injected kills (dead-holder parks)
+  uint64_t chaos_alloc_fails = 0;    // injected allocation failures
 };
 
 /// Aggregate counters across all threads (monotonic since process start).
+/// The per-thread cells are plain single-writer words, so a snapshot
+/// taken while traffic runs is approximate: each cell is read whole
+/// (no tearing on word-aligned targets) but cells are not mutually
+/// consistent. Monitoring output only — never use for control flow.
+/// (.tsan-suppressions carries the matching race:flock::stats entry.)
 inline stats_snapshot stats() {
   stats_snapshot s;
   const int bound = thread_id_bound();
@@ -36,6 +59,12 @@ inline stats_snapshot stats() {
     s.helps_avoided += c.stat_helps_avoided;
     s.backoff_spins += c.stat_backoff_spins;
   }
+  s.alloc_failures = alloc_failures();
+  s.resize_deferrals =
+      detail::g_resize_deferrals.load(std::memory_order_relaxed);
+  s.chaos_stalls = flock_chaos::stalls_injected();
+  s.chaos_kills = flock_chaos::kills_injected();
+  s.chaos_alloc_fails = flock_chaos::alloc_fails_injected();
   return s;
 }
 

@@ -33,6 +33,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "chaos/faultpoint.hpp"
 #include "ds/hashtable.hpp"
 #include "ds/move.hpp"
 #include "flock/flock.hpp"
@@ -210,6 +211,9 @@ template <class K, class V, bool Strict>
 bool try_move(sharded_map<K, V, Strict>& from, sharded_map<K, V, Strict>& to,
               std::type_identity_t<K> k) {
   if (&from == &to) return false;  // same store: routing is a no-op
+  // Window: both endpoints routed, the nested bucket critical sections
+  // not yet entered — the store tier's hand-off into the ds-tier nest.
+  FLOCK_FAULTPOINT("store.move.pre_nest");
   return flock_ds::try_move(from.shard_for(k), to.shard_for(k), k);
 }
 
