@@ -108,6 +108,24 @@ inline std::atomic<bool> g_release_killed{false};
 // arrives first).
 inline thread_local bool tl_victim = false;
 
+// Cooperative-scheduler hook (see scheduler.hpp). A thread running under
+// the schedule explorer installs a hook; every fault point (and every
+// FLOCK_SCHEDPOINT) then yields to the scheduler *before* the fault
+// machinery runs, so "which thread runs next" composes with "does a
+// fault fire here". Thread-local and a plain function pointer, so the
+// runtime keeps zero link-time dependency on the scheduler and threads
+// outside the explorer pay one TLS load only when FLOCK_CHAOS is on.
+struct sched_hook {
+  void (*fn)(sched_hook* self, const char* point);
+};
+inline thread_local sched_hook* tl_sched_hook = nullptr;
+
+inline void sched_point(const char* name) {
+  sched_hook* h = tl_sched_hook;
+  if (h != nullptr) [[unlikely]]
+    h->fn(h, name);
+}
+
 struct plan_entry {
   fault kind = fault::stall;
   bool victim_only = false;
@@ -261,12 +279,18 @@ inline uint64_t alloc_fails_injected() {
 }
 
 /// RAII victim marker for the calling thread (see header comment).
+/// Nests: an inner scope restores the enclosing scope's marking on exit
+/// rather than clearing it, so helpers that re-enter instrumented code
+/// from within a victim's thunk can scope themselves independently.
 class victim_scope {
  public:
-  victim_scope() { detail::tl_victim = true; }
-  ~victim_scope() { detail::tl_victim = false; }
+  victim_scope() : prev_(detail::tl_victim) { detail::tl_victim = true; }
+  ~victim_scope() { detail::tl_victim = prev_; }
   victim_scope(const victim_scope&) = delete;
   victim_scope& operator=(const victim_scope&) = delete;
+
+ private:
+  bool prev_;
 };
 
 // --- seeded plans -----------------------------------------------------------
@@ -313,11 +337,15 @@ inline void arm_seeded(uint64_t seed, int entries = 6) {
 // --- the instrumentation macros --------------------------------------------
 
 #ifdef FLOCK_CHAOS
-/// Mark a protocol window. Disarmed cost: one relaxed load + predicted
-/// branch. `name` must be a string literal (interned once per site via
-/// the function-local static).
+/// Mark a protocol window. Disarmed cost: one relaxed load + one TLS
+/// load + predicted branches. `name` must be a string literal (interned
+/// once per site via the function-local static). Under the schedule
+/// explorer the yield to the scheduler happens FIRST, so a fault plan
+/// composed with a schedule fires after the interleaving decision —
+/// "thread dies at step k of schedule S" is one enumerable event.
 #define FLOCK_FAULTPOINT(name)                                       \
   do {                                                               \
+    ::flock_chaos::detail::sched_point(name);                        \
     static ::flock_chaos::detail::point_state* fp_pt_ =              \
         ::flock_chaos::detail::registry_get(name);                   \
     if (fp_pt_->armed.load(std::memory_order_relaxed) != 0)          \
@@ -330,6 +358,7 @@ inline void arm_seeded(uint64_t seed, int entries = 6) {
 /// fire, before the failure decision is returned).
 #define FLOCK_FAULTPOINT_ALLOC_FAIL(name)                            \
   ([]() -> bool {                                                    \
+    ::flock_chaos::detail::sched_point(name);                        \
     static ::flock_chaos::detail::point_state* fp_pt_ =              \
         ::flock_chaos::detail::registry_get(name);                   \
     if (fp_pt_->armed.load(std::memory_order_relaxed) == 0)          \
@@ -337,9 +366,18 @@ inline void arm_seeded(uint64_t seed, int entries = 6) {
       return false;                                                  \
     return ::flock_chaos::detail::on_hit(fp_pt_, /*alloc_site=*/true); \
   }())
+
+/// Mark a scheduler-only yield point: a window that the schedule
+/// explorer must be able to preempt at, but where no fault plan ever
+/// fires (descriptor tag revalidation, write_once publication, ...).
+/// No registry entry, no counters — just the thread-local hook check.
+#define FLOCK_SCHEDPOINT(name) ::flock_chaos::detail::sched_point(name)
 #else
 #define FLOCK_FAULTPOINT(name) \
   do {                         \
   } while (0)
 #define FLOCK_FAULTPOINT_ALLOC_FAIL(name) false
+#define FLOCK_SCHEDPOINT(name) \
+  do {                         \
+  } while (0)
 #endif

@@ -1,0 +1,198 @@
+// schedule_test.hpp — scenario harness over scheduler.hpp.
+//
+// A *scenario* is a deterministic concurrent episode: fresh state
+// (setup), N thread bodies, an assertion pass at quiescence (live
+// threads done, kill victims parked mid-window) and a final pass after
+// kill victims are revived and drained. The harness runs a scenario
+// under the three deciders:
+//
+//   explore(sc, opts)       iterative-preemption-bound exhaustive DFS:
+//                           the full schedule tree at bound 0, then 1,
+//                           ... up to opts.preemption_bound (and per
+//                           kill budget 0..kill_bound), so the simplest
+//                           counterexample surfaces first. Stops at the
+//                           first failing schedule.
+//   random_walk(sc, seed,…) one PCT-style seeded walk; a sweep is a
+//                           loop over seeds.
+//   replay(sc, "0,1,k0,…")  one run pinned to a recorded schedule.
+//
+// Reproduction contract (the CI model-check job depends on it): when a
+// schedule fails, explore()/random_walk() print one line of the form
+//
+//   FLOCK_SCHEDULE='<tokens>' FLOCK_SCHEDULE_SCENARIO='<name>' <test-binary>
+//
+// and stop. Setting those two environment variables makes explore()
+// replay exactly that schedule for the named scenario (other scenarios
+// explore normally), so any CI failure reruns locally with one env var
+// pair and no code changes.
+//
+// Failure detection is pluggable (opts.failure_check) so the harness
+// stays gtest-agnostic; tests pass `::testing::Test::HasFailure`.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scheduler.hpp"
+
+namespace flock_sched {
+
+struct scenario {
+  std::string name;
+  /// Builds fresh scenario state; called once per schedule, before the
+  /// workers spawn, on the exploring thread.
+  std::function<void()> setup;
+  /// One deterministic body per logical thread.
+  std::vector<std::function<void()>> threads;
+  /// Assertions at quiescence (kill victims still parked mid-window).
+  std::function<void()> on_quiescent;
+  /// Assertions + teardown after revival/drain, workers joined.
+  std::function<void(const run_report&)> on_final;
+  /// Optional state digest, recorded per run; replay determinism asserts
+  /// record == replay. Called at the same place as on_final.
+  std::function<std::string()> fingerprint;
+};
+
+struct explore_options {
+  int preemption_bound = 2;
+  int kill_bound = 0;
+  run_options run;  // yield filter + step budget
+  /// Abort exploration as soon as this reports true after a run (wired
+  /// to ::testing::Test::HasFailure in the tests).
+  std::function<bool()> failure_check;
+  /// Stop after this many schedules; sets stats.truncated. Exhaustive
+  /// tests assert !truncated.
+  uint64_t max_schedules = 1u << 20;
+};
+
+struct explore_stats {
+  uint64_t schedules = 0;       // runs executed (all bounds summed)
+  uint64_t schedules_at_max_bound = 0;  // runs in the final DFS pass
+  uint64_t max_steps_seen = 0;  // longest run, in decisions
+  bool truncated = false;       // max_schedules or a run's step budget hit
+  bool nondeterminism = false;  // DFS prefix-determinism check failed
+  bool failed = false;
+  std::string failure_schedule;
+  /// (schedule string, fingerprint) per run from the final full-bound
+  /// pass, capped — the replay-determinism tests re-run these.
+  std::vector<std::pair<std::string, std::string>> records;
+  std::size_t records_cap = 4096;
+};
+
+namespace detail_harness {
+
+inline void print_repro(const scenario& sc, const std::string& schedule,
+                        const char* how) {
+  std::fprintf(stderr,
+               "[schedule_test] FAILING SCHEDULE (%s) in scenario '%s'\n"
+               "[schedule_test] reproduce with:\n"
+               "[schedule_test]   FLOCK_SCHEDULE='%s' "
+               "FLOCK_SCHEDULE_SCENARIO='%s' <this test binary>\n",
+               how, sc.name.c_str(), schedule.c_str(), sc.name.c_str());
+}
+
+/// One schedule of `sc` under `d`: fresh state, run, fingerprint, final
+/// assertions. The quiescence callback fires inside run_schedule, with
+/// kill victims still parked.
+inline run_report run_once(const scenario& sc, decider& d,
+                           const run_options& o) {
+  if (sc.setup) sc.setup();
+  run_report rep = run_schedule(sc.threads, d, o, sc.on_quiescent);
+  if (sc.fingerprint) rep.fingerprint = sc.fingerprint();
+  if (sc.on_final) sc.on_final(rep);
+  return rep;
+}
+
+}  // namespace detail_harness
+
+/// Replay one recorded schedule against a scenario.
+inline run_report replay(const scenario& sc, const std::string& schedule,
+                         const run_options& o = {}) {
+  replay_decider d(schedule);
+  return detail_harness::run_once(sc, d, o);
+}
+
+/// Exhaustive exploration with iterative preemption bounding: for each
+/// kill budget 0..kill_bound, DFS the full tree at preemption bound 0,
+/// then 1, ... up to preemption_bound. Honors FLOCK_SCHEDULE (+ optional
+/// FLOCK_SCHEDULE_SCENARIO) by replaying that one schedule instead.
+inline explore_stats explore(const scenario& sc,
+                             const explore_options& opts = {}) {
+  explore_stats stats;
+
+  if (const char* fixed = std::getenv("FLOCK_SCHEDULE")) {
+    const char* which = std::getenv("FLOCK_SCHEDULE_SCENARIO");
+    if (which == nullptr || sc.name == which) {
+      run_report rep = replay(sc, fixed, opts.run);
+      stats.schedules = 1;
+      stats.max_steps_seen = rep.tokens.size();
+      stats.truncated = rep.truncated;
+      if (opts.failure_check && opts.failure_check()) {
+        stats.failed = true;
+        stats.failure_schedule = fixed;
+      }
+      return stats;
+    }
+  }
+
+  for (int kb = 0; kb <= opts.kill_bound && !stats.failed; kb++) {
+    for (int pb = 0; pb <= opts.preemption_bound && !stats.failed; pb++) {
+      bool at_max = (pb == opts.preemption_bound && kb == opts.kill_bound);
+      dfs_decider d(pb, kb);
+      do {
+        if (stats.schedules >= opts.max_schedules) {
+          stats.truncated = true;
+          return stats;
+        }
+        run_report rep = detail_harness::run_once(sc, d, opts.run);
+        stats.schedules++;
+        if (at_max) {
+          stats.schedules_at_max_bound++;
+          if (stats.records.size() < stats.records_cap)
+            stats.records.emplace_back(rep.schedule_string(),
+                                       rep.fingerprint);
+        }
+        if (rep.tokens.size() > stats.max_steps_seen)
+          stats.max_steps_seen = rep.tokens.size();
+        if (rep.truncated) stats.truncated = true;
+        if (opts.failure_check && opts.failure_check()) {
+          stats.failed = true;
+          stats.failure_schedule = rep.schedule_string();
+          detail_harness::print_repro(sc, stats.failure_schedule,
+                                      "exhaustive DFS");
+          break;
+        }
+      } while (d.next_schedule());
+      if (d.nondeterminism_detected()) stats.nondeterminism = true;
+    }
+  }
+  return stats;
+}
+
+struct walk_options {
+  int depth = 3;                 // PCT priority-change points
+  std::size_t expected_steps = 64;
+  int kill_budget = 0;
+  run_options run;
+  std::function<bool()> failure_check;
+};
+
+/// One seeded random walk; bit-identical schedule for a given seed (and
+/// replayable from the recorded tokens regardless).
+inline run_report random_walk(const scenario& sc, uint64_t seed,
+                              const walk_options& opts = {}) {
+  pct_decider d(seed, static_cast<int>(sc.threads.size()), opts.depth,
+                opts.expected_steps, opts.kill_budget);
+  run_report rep = detail_harness::run_once(sc, d, opts.run);
+  if (opts.failure_check && opts.failure_check()) {
+    std::string how = "random walk, seed " + std::to_string(seed);
+    detail_harness::print_repro(sc, rep.schedule_string(), how.c_str());
+  }
+  return rep;
+}
+
+}  // namespace flock_sched

@@ -26,6 +26,14 @@ struct descriptor {
   std::atomic<bool> helped{false};  // §6 reuse optimization (see lock.hpp)
   int64_t epoch = -1;               // creator's announced epoch
   thunk fn;
+#ifdef FLOCK_DEBUG_API
+  // The descriptor whose thunk was running when this one was created —
+  // the lock-holding chain for the non-holder unlock check (lock.hpp).
+  // Helpers replaying a nested acquisition create loser candidates with
+  // their own parent, but only the first-committed descriptor survives,
+  // so the chain reflects the original nesting.
+  descriptor* dbg_parent = nullptr;
+#endif
 
   descriptor() = default;
   descriptor(const descriptor&) = delete;
@@ -48,7 +56,15 @@ struct descriptor {
   bool run(detail::thread_context* c) {
     log_cursor saved = c->log;
     c->log = {&head, 0};
+#ifdef FLOCK_DEBUG_API
+    if (c->dbg_run_depth < detail::thread_context::kDbgRunDepth)
+      c->dbg_run_stack[c->dbg_run_depth] = this;
+    c->dbg_run_depth++;
+#endif
     bool result = fn();
+#ifdef FLOCK_DEBUG_API
+    c->dbg_run_depth--;
+#endif
     c->log = saved;
     return result;
   }
@@ -67,6 +83,12 @@ descriptor* create_descriptor_ctx(thread_context* c, F&& f) {
   c->stat_created++;
   descriptor* mine = pool_new_ctx<descriptor>(c);
   mine->fn.emplace(std::forward<F>(f));
+#ifdef FLOCK_DEBUG_API
+  mine->dbg_parent =
+      c->dbg_run_depth > 0 && c->dbg_run_depth <= thread_context::kDbgRunDepth
+          ? static_cast<descriptor*>(c->dbg_run_stack[c->dbg_run_depth - 1])
+          : nullptr;
+#endif
   int64_t e = c->announced.load(std::memory_order_relaxed);
   mine->epoch = e >= 0 ? e : epoch_manager::instance().current_epoch();
   auto [committed, first] =

@@ -90,6 +90,13 @@
 #include <thread>
 #include <utility>
 
+#ifdef FLOCK_DEBUG_API
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#endif
+
 #include "backoff.hpp"
 #include "chaos/faultpoint.hpp"
 #include "config.hpp"
@@ -111,6 +118,97 @@ inline descriptor* lv_descr(uint64_t val) {
 
 using lock_word = mutable_<uint64_t>;
 
+#ifdef FLOCK_DEBUG_API
+// --- lock-API misuse guards (satellite of the schedule-explorer PR;
+// motivated by "Protecting Locks Against Unbalanced Unlock()"). Compiled
+// only under FLOCK_DEBUG_API, so release builds carry zero cost. Three
+// checks: double release (unlock of an unheld lock), unlock by a
+// non-holder, and leaked locks at thread exit (thread_context.hpp).
+
+[[noreturn]] inline void dbg_api_abort(const char* what) {
+  std::fprintf(stderr, "[flock] FLOCK_DEBUG_API violation: %s\n", what);
+  std::abort();
+}
+
+/// Lock-free non-holder check against the *logged* lock word, so helper
+/// replays of a thunk that early-unlocks judge the same (original) value
+/// and pass. The holder descriptor must be reachable from some thunk
+/// running on this thread, directly or through the dbg_parent creation
+/// chain (hand-over-hand: the thunk of lock i+1 legitimately unlocks
+/// lock i, its parent). Walks are bounded; descriptor storage is
+/// slab-backed and never unmapped, so chasing a retired parent pointer
+/// reads stale-but-mapped memory and simply fails to match.
+inline void dbg_check_unlock_helping(thread_context* c, uint64_t v) {
+  if (!lv_locked(v))
+    dbg_api_abort("unlock() of a lock that is not held (double release)");
+  descriptor* h = lv_descr(v);
+  int depth = c->dbg_run_depth < thread_context::kDbgRunDepth
+                  ? c->dbg_run_depth
+                  : thread_context::kDbgRunDepth;
+  for (int i = 0; i < depth; i++) {
+    descriptor* e = static_cast<descriptor*>(c->dbg_run_stack[i]);
+    for (int d = 0; e != nullptr && d < 64; d++, e = e->dbg_parent)
+      if (e == h) return;
+  }
+  dbg_api_abort("unlock() by a thread whose thunk does not hold the lock");
+}
+
+/// Blocking mode has no descriptor to identify the holder, so holders are
+/// tracked in a debug-only side table keyed by lock-word address.
+inline std::mutex& dbg_blocking_mu() {
+  static std::mutex mu;
+  return mu;
+}
+inline std::unordered_map<const void*, int>& dbg_blocking_holders() {
+  static std::unordered_map<const void*, int> m;
+  return m;
+}
+
+inline void dbg_blocking_acquired(thread_context* c, const lock_word* st) {
+  std::lock_guard<std::mutex> g(dbg_blocking_mu());
+  dbg_blocking_holders()[st] = c->id;
+  c->dbg_held++;
+}
+
+/// The automatic release at the end of a blocking critical section. If
+/// this thread still holds the lock, close its bracket; if it
+/// early-released and nobody re-acquired, the trailing store just bumps
+/// the tag of an unlocked word (matching release-build behavior). If
+/// another thread re-acquired after an early release, the release build
+/// would stomp its lock — abort.
+inline void dbg_blocking_release_bracket(thread_context* c,
+                                         const lock_word* st) {
+  std::lock_guard<std::mutex> g(dbg_blocking_mu());
+  auto& m = dbg_blocking_holders();
+  auto it = m.find(st);
+  if (it == m.end()) return;  // early-released, not re-acquired
+  if (it->second != c->id)
+    dbg_api_abort(
+        "blocking critical section ended after an early unlock() and the "
+        "lock was re-acquired by another thread; the automatic release "
+        "would stomp that holder");
+  m.erase(it);
+  c->dbg_held--;
+}
+
+inline void dbg_check_unlock_blocking(thread_context* c,
+                                      const lock_word* st) {
+  std::lock_guard<std::mutex> g(dbg_blocking_mu());
+  auto& m = dbg_blocking_holders();
+  auto it = m.find(st);
+  if (it == m.end())
+    dbg_api_abort("unlock() of a lock that is not held (double release)");
+  if (it->second != c->id)
+    dbg_api_abort("unlock() by a thread that does not hold the lock");
+  m.erase(it);
+  c->dbg_held--;
+}
+
+#define FLOCK_DBG_API(stmt) stmt
+#else
+#define FLOCK_DBG_API(stmt)
+#endif
+
 /// Effects-once unlock: flip (d|locked) -> (d|unlocked) if still current.
 /// Raw (no enclosing log slots); the tag makes repeats harmless.
 template <bool Ccas>
@@ -126,12 +224,14 @@ inline void raw_unlock(thread_context* c, lock_word& st, descriptor* d) {
 /// Run the descriptor's thunk (idempotently), mark done, release the lock.
 template <bool Ccas>
 inline bool run_and_unlock(thread_context* c, lock_word& st, descriptor* d) {
+  FLOCK_DBG_API(c->dbg_held++);
   bool result = d->run(c);
   d->done.store(true, std::memory_order_release);
   // Chaos window: done published, unlock CAS pending — the finish-line
   // stall that help_throttled's done-but-locked signal targets.
   FLOCK_FAULTPOINT("lock.handoff.pre_unlock");
   raw_unlock<Ccas>(c, st, d);
+  FLOCK_DBG_API(c->dbg_held--);
   return result;
 }
 
@@ -376,7 +476,9 @@ bool try_lock_blocking(thread_context* c, lock_word& st, F&& f) {
   uint64_t p = st.read_raw_packed();
   if (lv_locked(val_of(p))) return false;
   if (!st.cas_raw_packed_ctx<false>(c, p, kLockedBit)) return false;
+  FLOCK_DBG_API(dbg_blocking_acquired(c, &st));
   bool result = f();
+  FLOCK_DBG_API(dbg_blocking_release_bracket(c, &st));
   st.store_raw(0);
   return result;
 }
@@ -392,7 +494,9 @@ bool strict_lock_blocking(thread_context* c, lock_word& st, F&& f) {
       bo.spin();
     }
   }
+  FLOCK_DBG_API(dbg_blocking_acquired(c, &st));
   bool result = f();
+  FLOCK_DBG_API(dbg_blocking_release_bracket(c, &st));
   st.store_raw(0);
   return result;
 }
@@ -436,6 +540,7 @@ class lock {
   void unlock() {
     detail::thread_context* c = detail::my_ctx();
     if (is_blocking()) {
+      FLOCK_DBG_API(detail::dbg_check_unlock_blocking(c, &state_));
       state_.store_raw(0);
       return;
     }
@@ -453,6 +558,7 @@ class lock {
   template <bool Ccas>
   void unlock_helping(detail::thread_context* c) {
     uint64_t cur = state_.load_packed_ctx<Ccas>(c);  // logged
+    FLOCK_DBG_API(detail::dbg_check_unlock_helping(c, val_of(cur)));
     if (detail::lv_locked(val_of(cur)))
       state_.cas_raw_packed_ctx<Ccas>(c, cur,
                                       val_of(cur) & ~detail::kLockedBit);

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "chaos/faultpoint.hpp"
 #include "config.hpp"
 #include "log.hpp"
 #include "tagged.hpp"
@@ -178,6 +179,10 @@ class mutable_ {
       // compare-and-compare-and-swap (§6)
       if (word_.load(std::memory_order_acquire) != expected) return false;
     }
+    // The window between (c)cas validation and the committing CAS: the
+    // tag in `expected` can go stale right here. Scheduler-only yield
+    // point (no fault plans); erased without FLOCK_CHAOS.
+    FLOCK_SCHEDPOINT("mut.cas.pre");
     detail::announce_guard g(c, this, expected);
     // seq_cst (not acq_rel) so lock-word CASes participate in the
     // hand-off protocol's total order (lock.hpp); identical code on x86,

@@ -25,6 +25,11 @@
 #include <mutex>
 #include <vector>
 
+#ifdef FLOCK_DEBUG_API
+#include <cstdio>
+#include <cstdlib>
+#endif
+
 #include "config.hpp"
 
 namespace flock {
@@ -85,6 +90,17 @@ struct alignas(2 * kCacheLine) thread_context {
   retire_batch* batch_free = nullptr;   // small recycling cache
   int batch_free_n = 0;
   long long retired_pending = 0;  // items in open + sealed (stats)
+
+#ifdef FLOCK_DEBUG_API
+  // Lock-API misuse tracking (lock.hpp): the stack of descriptors whose
+  // thunks are running on this thread, and the number of critical
+  // sections this thread is currently completing (asserted zero at
+  // thread exit — a leaked, never-released lock). Owner-only.
+  static constexpr int kDbgRunDepth = 16;
+  void* dbg_run_stack[kDbgRunDepth] = {};
+  int dbg_run_depth = 0;
+  long long dbg_held = 0;
+#endif
 };
 
 inline constinit thread_context g_ctx[kMaxThreads]{};
@@ -153,9 +169,22 @@ inline thread_local thread_context* tl_ctx = nullptr;
       c->epoch_depth = 0;
       c->announced.store(-1, std::memory_order_relaxed);
       c->ann_loc.store(nullptr, std::memory_order_relaxed);
+#ifdef FLOCK_DEBUG_API
+      c->dbg_run_depth = 0;
+      c->dbg_held = 0;
+#endif
       tl_ctx = c;
     }
     ~owner() {
+#ifdef FLOCK_DEBUG_API
+      if (c->dbg_held != 0) {
+        std::fprintf(stderr,
+                     "[flock] FLOCK_DEBUG_API: thread %d exiting while "
+                     "holding %lld never-released lock(s)\n",
+                     c->id, c->dbg_held);
+        std::abort();
+      }
+#endif
       tl_ctx = nullptr;
       id_allocator::instance().release(c->id);
     }

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "chaos/faultpoint.hpp"
 #include "log.hpp"
 #include "tagged.hpp"
 
@@ -40,8 +41,12 @@ class write_once {
     return from_bits48<T>(b);
   }
 
-  /// The single allowed update; a plain release write (§6).
+  /// The single allowed update; a plain release write (§6). The moment
+  /// before publication is a protocol window (e.g. a forwarded flag not
+  /// yet visible while its bucket's copies already are), so the schedule
+  /// explorer gets a yield point here; erased without FLOCK_CHAOS.
   void store(T v) {
+    FLOCK_SCHEDPOINT("wo.publish");
     word_.store(to_bits48(v), std::memory_order_release);
   }
 

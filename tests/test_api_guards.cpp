@@ -1,0 +1,210 @@
+// FLOCK_DEBUG_API lock-API misuse guards (lock.hpp). This binary is the
+// only one compiled with FLOCK_DEBUG_API=1 (CMakeLists.txt): the define
+// adds fields to thread_context/descriptor, so it is per-binary.
+//
+// Two halves:
+//   * positive: the legitimate patterns the paper blesses — early
+//     unlock() inside a critical section, hand-over-hand chains, helper
+//     replays — run clean under the guards (no false aborts), and the
+//     thread-exit leak check passes after real contended traffic;
+//   * death tests: double release and non-holder unlock() abort with a
+//     diagnostic, in both lock-free and blocking modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "flock/flock.hpp"
+
+namespace {
+
+class ApiGuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flock::set_blocking(false);
+    flock::set_ccas(true);
+  }
+  void TearDown() override {
+    flock::set_blocking(false);
+    flock::set_ccas(true);
+    flock::epoch_manager::instance().flush();
+  }
+};
+
+// --- positive: guards stay silent on legitimate use -------------------------
+
+TEST_F(ApiGuardTest, EarlyUnlockInsideThunkLockFree) {
+  for (bool ccas : {false, true}) {
+    flock::set_ccas(ccas);
+    flock::lock l;
+    auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+    x->init(0);
+    flock::lock* lp = &l;
+    bool ok = flock::try_lock(l, [lp, x] {
+      x->store(x->load() + 1);
+      lp->unlock();  // §4 early release; the trailing auto-release no-ops
+      return true;
+    });
+    EXPECT_TRUE(ok);
+    EXPECT_FALSE(l.is_locked());
+    EXPECT_EQ(x->read_raw(), 1u);
+    // Reacquirable after the early release.
+    EXPECT_TRUE(flock::try_lock(l, [] { return true; }));
+    flock::pool_delete(x);
+  }
+}
+
+TEST_F(ApiGuardTest, EarlyUnlockInsideCriticalSectionBlocking) {
+  flock::set_blocking(true);
+  flock::lock l;
+  bool ok = flock::try_lock(l, [&l] {
+    l.unlock();  // blocking-mode early release: bracket must tolerate it
+    return true;
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(l.is_locked());
+  EXPECT_TRUE(flock::try_lock(l, [] { return true; }));
+}
+
+TEST_F(ApiGuardTest, HandOverHandChainLockFree) {
+  // Lock i+1 is taken inside lock i's thunk and then releases lock i —
+  // the unlock legitimacy flows through the dbg_parent creation chain.
+  flock::lock a, b, c;
+  auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+  x->init(0);
+  flock::lock *ap = &a, *bp = &b, *cp = &c;
+  bool ok = flock::strict_lock(a, [ap, bp, cp, x] {
+    return bp->strict_lock([ap, bp, cp, x] {
+      ap->unlock();
+      return cp->strict_lock([bp, x] {
+        bp->unlock();
+        x->store(x->load() + 1);
+        return true;
+      });
+    });
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(a.is_locked());
+  EXPECT_FALSE(b.is_locked());
+  EXPECT_FALSE(c.is_locked());
+  EXPECT_EQ(x->read_raw(), 1u);
+  flock::pool_delete(x);
+}
+
+// Contended traffic: helpers replay thunks (including the early-unlock
+// one) under the guards; every worker's thread-exit leak check runs at
+// join and aborts the test on any unbalanced critical section.
+TEST_F(ApiGuardTest, ContendedHelpingBalancesUnderGuards) {
+  for (bool ccas : {false, true}) {
+    flock::set_ccas(ccas);
+    flock::lock l;
+    auto* x = flock::pool_new<flock::mutable_<uint64_t>>();
+    x->init(0);
+    constexpr int kThreads = 4, kOps = 1500;
+    std::atomic<uint64_t> wins{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; t++) {
+      ts.emplace_back([&l, x, &wins] {
+        flock::lock* lp = &l;
+        uint64_t mine = 0;
+        for (int i = 0; i < kOps; i++) {
+          bool early = (i & 7) == 0;
+          bool ok = flock::with_epoch([&] {
+            return flock::try_lock(l, [lp, x, early] {
+              x->store(x->load() + 1);
+              if (early) lp->unlock();
+              return true;
+            });
+          });
+          if (ok) mine++;
+        }
+        wins.fetch_add(mine);
+      });
+    }
+    for (auto& t : ts) t.join();  // leak check fires here if unbalanced
+    EXPECT_FALSE(l.is_locked());
+    EXPECT_EQ(x->read_raw(), wins.load());
+    EXPECT_GE(wins.load(), (uint64_t)kThreads);  // someone always wins
+    flock::pool_delete(x);
+    flock::epoch_manager::instance().flush();
+  }
+}
+
+// --- death tests: misuse aborts with a diagnostic ---------------------------
+
+using ApiGuardDeathTest = ApiGuardTest;
+
+TEST_F(ApiGuardDeathTest, DoubleReleaseTopLevelLockFree) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  flock::lock l;
+  EXPECT_DEATH(l.unlock(), "double release");
+}
+
+TEST_F(ApiGuardDeathTest, DoubleReleaseInsideThunkLockFree) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Parenthesized lambda: braces do not protect commas from the macro.
+  EXPECT_DEATH(([] {
+                 flock::lock held;
+                 flock::lock other;
+                 flock::lock* op = &other;
+                 flock::try_lock(held, [op] {
+                   op->unlock();  // `other` was never acquired
+                   return true;
+                 });
+               }()),
+               "double release");
+}
+
+TEST_F(ApiGuardDeathTest, DoubleReleaseBlocking) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  flock::set_blocking(true);
+  flock::lock l;
+  EXPECT_DEATH(l.unlock(), "double release");
+}
+
+TEST_F(ApiGuardDeathTest, NonHolderUnlockLockFree) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(([] {
+                 flock::lock l;
+                 std::atomic<bool> locked{false};
+                 std::atomic<bool> release{false};
+                 std::thread holder([&] {
+                   flock::strict_lock(l, [&locked, &release] {
+                     locked.store(true);
+                     while (!release.load()) std::this_thread::yield();
+                     return true;
+                   });
+                 });
+                 while (!locked.load()) std::this_thread::yield();
+                 l.unlock();  // aborts: this thread does not hold l
+                 release.store(true);
+                 holder.join();
+               }()),
+               "does not hold the lock");
+}
+
+TEST_F(ApiGuardDeathTest, NonHolderUnlockBlocking) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  flock::set_blocking(true);
+  EXPECT_DEATH(([] {
+                 flock::lock l;
+                 std::atomic<bool> locked{false};
+                 std::atomic<bool> release{false};
+                 std::thread holder([&] {
+                   flock::strict_lock(l, [&locked, &release] {
+                     locked.store(true);
+                     while (!release.load()) std::this_thread::yield();
+                     return true;
+                   });
+                 });
+                 while (!locked.load()) std::this_thread::yield();
+                 l.unlock();  // side table says another thread holds it
+                 release.store(true);
+                 holder.join();
+               }()),
+               "does not hold the lock");
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Edge cases of the faultpoint plan layer (chaos/faultpoint.hpp):
+// unknown point names, re-arming while a plan is active, nested
+// victim_scope, counters across re-interning, and the alloc-site-only
+// contract of alloc_fail entries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "chaos/faultpoint.hpp"
+
+namespace {
+
+namespace chaos = flock_chaos;
+
+// Ad-hoc points local to this test binary. Each call is one arrival at
+// the named point (the macro registers the name on first use).
+void cross_p1() { FLOCK_FAULTPOINT("test.edge.p1"); }
+void cross_victim_pt() { FLOCK_FAULTPOINT("test.edge.victim"); }
+bool cross_alloc() { return FLOCK_FAULTPOINT_ALLOC_FAIL("test.edge.alloc"); }
+
+class FaultpointEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { chaos::reset(); }
+  void TearDown() override { chaos::reset(); }
+};
+
+TEST_F(FaultpointEdgeTest, UnknownPointNameArmsButNeverFires) {
+  // Arming a name no code ever crosses is legal: it interns a registry
+  // entry and sits there. Nothing fires, nothing counts, reset() clears.
+  uint64_t stalls_before = chaos::stalls_injected();
+  ASSERT_TRUE(chaos::arm("test.edge.nobody_crosses_this", chaos::fault::stall));
+  cross_p1();  // traffic at a *different* point
+  EXPECT_EQ(chaos::hits("test.edge.nobody_crosses_this"), 0u);
+  EXPECT_EQ(chaos::stalls_injected(), stalls_before);
+}
+
+TEST_F(FaultpointEdgeTest, ReArmWhileActiveAppendsAnIndependentEntry) {
+  uint64_t stalls_before = chaos::stalls_injected();
+  chaos::arm_options a;
+  a.nth = 1;
+  a.stall_spins = 1;
+  ASSERT_TRUE(chaos::arm("test.edge.p1", chaos::fault::stall, a));
+  cross_p1();  // entry A fires on its 1st arrival
+  EXPECT_EQ(chaos::stalls_injected(), stalls_before + 1);
+
+  // Re-arm while the first plan is still active: the new entry appends
+  // and counts arrivals from ITS arm time, independent of entry A.
+  chaos::arm_options b;
+  b.nth = 2;
+  b.stall_spins = 1;
+  ASSERT_TRUE(chaos::arm("test.edge.p1", chaos::fault::stall, b));
+  cross_p1();  // A:2nd (past), B:1st (not yet)
+  EXPECT_EQ(chaos::stalls_injected(), stalls_before + 1);
+  cross_p1();  // A:3rd (past), B:2nd -> fires
+  EXPECT_EQ(chaos::stalls_injected(), stalls_before + 2);
+  EXPECT_EQ(chaos::hits("test.edge.p1"), 3u);
+}
+
+TEST_F(FaultpointEdgeTest, EntryTableFullIsReportedNotSilentlyDropped) {
+  for (int i = 0; i < 6; i++)
+    ASSERT_TRUE(chaos::arm("test.edge.p1", chaos::fault::stall,
+                           {.nth = 1000, .stall_spins = 1}));
+  EXPECT_FALSE(chaos::arm("test.edge.p1", chaos::fault::stall));
+  chaos::reset();
+  EXPECT_TRUE(chaos::arm("test.edge.p1", chaos::fault::stall,
+                         {.nth = 1000, .stall_spins = 1}));
+}
+
+TEST_F(FaultpointEdgeTest, ZeroNthAndCountNormalizeToOne) {
+  uint64_t stalls_before = chaos::stalls_injected();
+  chaos::arm_options o;
+  o.nth = 0;    // normalized to 1
+  o.count = 0;  // normalized to 1
+  o.stall_spins = 1;
+  ASSERT_TRUE(chaos::arm("test.edge.p1", chaos::fault::stall, o));
+  cross_p1();
+  cross_p1();
+  EXPECT_EQ(chaos::stalls_injected(), stalls_before + 1);  // fired once, 1st
+}
+
+TEST_F(FaultpointEdgeTest, NestedVictimScopeRestoresOuterMarking) {
+  uint64_t stalls_before = chaos::stalls_injected();
+  chaos::arm_options o;
+  o.victim_only = true;
+  o.nth = 1;
+  o.count = 100;
+  o.stall_spins = 1;
+  ASSERT_TRUE(chaos::arm("test.edge.victim", chaos::fault::stall, o));
+
+  cross_victim_pt();  // not a victim: filtered, does not even count
+  EXPECT_EQ(chaos::stalls_injected(), stalls_before);
+
+  {
+    chaos::victim_scope outer;
+    {
+      chaos::victim_scope inner;  // nested scope (helper re-entry pattern)
+      cross_victim_pt();          // victim: fires
+    }
+    // The inner scope's exit must RESTORE the outer marking, not clear
+    // it: still a victim here.
+    cross_victim_pt();  // fires
+  }
+  cross_victim_pt();  // scope closed: filtered again
+  EXPECT_EQ(chaos::stalls_injected(), stalls_before + 2);
+}
+
+TEST_F(FaultpointEdgeTest, CountersSurviveReInterning) {
+  // Every arm()/hits() call re-looks-up the name; all of them must land
+  // on the same interned point_state, so arrival counters accumulate
+  // across separate arm calls and only reset() zeroes them.
+  ASSERT_TRUE(chaos::arm("test.edge.p1", chaos::fault::stall,
+                         {.nth = 1000, .stall_spins = 1}));
+  cross_p1();
+  cross_p1();
+  EXPECT_EQ(chaos::hits("test.edge.p1"), 2u);
+  ASSERT_TRUE(chaos::arm("test.edge.p1", chaos::fault::stall,
+                         {.nth = 1000, .stall_spins = 1}));
+  cross_p1();
+  EXPECT_EQ(chaos::hits("test.edge.p1"), 3u);  // same state, kept counting
+  chaos::reset();
+  EXPECT_EQ(chaos::hits("test.edge.p1"), 0u);
+  cross_p1();  // disarmed: arrivals are not counted
+  EXPECT_EQ(chaos::hits("test.edge.p1"), 0u);
+}
+
+TEST_F(FaultpointEdgeTest, AllocFailOnlyHonoredAtAllocSites) {
+  uint64_t fails_before = chaos::alloc_fails_injected();
+  // An alloc_fail entry armed at a NON-alloc site is ignored entirely —
+  // it neither fires nor consumes its arrival budget there.
+  ASSERT_TRUE(chaos::arm("test.edge.p1", chaos::fault::alloc_fail));
+  cross_p1();
+  cross_p1();
+  EXPECT_EQ(chaos::alloc_fails_injected(), fails_before);
+
+  // At a real alloc site the same plan shape fires and the site reports
+  // failure exactly count times.
+  chaos::arm_options o;
+  o.nth = 2;
+  o.count = 1;
+  ASSERT_TRUE(chaos::arm("test.edge.alloc", chaos::fault::alloc_fail, o));
+  EXPECT_FALSE(cross_alloc());  // 1st arrival: below nth
+  EXPECT_TRUE(cross_alloc());   // 2nd: fails
+  EXPECT_FALSE(cross_alloc());  // 3rd: budget spent
+  EXPECT_EQ(chaos::alloc_fails_injected(), fails_before + 1);
+}
+
+TEST_F(FaultpointEdgeTest, SchedpointHasNoRegistryFootprint) {
+  // FLOCK_SCHEDPOINT is scheduler-only: no interning, no counters, and
+  // with no hook installed it must be a no-op even with plans armed
+  // elsewhere under the same prefix.
+  ASSERT_TRUE(chaos::arm("test.edge.sp", chaos::fault::stall));
+  uint64_t stalls_before = chaos::stalls_injected();
+  FLOCK_SCHEDPOINT("test.edge.sp");
+  EXPECT_EQ(chaos::stalls_injected(), stalls_before);
+  EXPECT_EQ(chaos::hits("test.edge.sp"), 0u);
+}
+
+}  // namespace
