@@ -82,6 +82,8 @@ class raw_pool {
     if (n == nullptr) [[unlikely]] {
       n = refill(t);
       if (n == nullptr) [[unlikely]] {
+        // mo: relaxed — monotonic stats counter; readers (stats line,
+        // tests at quiescence) need a count, not an ordering edge.
         g_alloc_failures.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
       }
@@ -225,12 +227,14 @@ T* array_new(std::size_t n) {
     mem = ::operator new(L::kHeader + n * sizeof(T),
                          std::align_val_t{L::kAlign}, std::nothrow);
   if (mem == nullptr) [[unlikely]] {
+    // mo: relaxed — monotonic stats counter (see pool allocate).
     detail::g_alloc_failures.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   T* base = reinterpret_cast<T*>(static_cast<char*>(mem) + L::kHeader);
   L::count_of(base) = n;
   for (std::size_t i = 0; i < n; i++) ::new (static_cast<void*>(base + i)) T();
+  // mo: relaxed — leak-accounting counter, audited at quiescence.
   detail::g_arrays_outstanding.fetch_add(1, std::memory_order_relaxed);
   return base;
 }
@@ -249,6 +253,7 @@ void array_delete(T* p) {
   for (std::size_t i = n; i > 0; i--) p[i - 1].~T();
   ::operator delete(static_cast<void*>(reinterpret_cast<char*>(p) - L::kHeader),
                     std::align_val_t{L::kAlign});
+  // mo: relaxed — leak-accounting counter, audited at quiescence.
   detail::g_arrays_outstanding.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -261,12 +266,16 @@ void array_delete_erased(void* p) {
 
 /// Live array_new arrays across all types (leak accounting in tests).
 inline long long arrays_outstanding() {
-  return detail::g_arrays_outstanding.load(std::memory_order_acquire);
+  // mo: relaxed — audit counter whose updates are relaxed fetch_adds; an
+  // acquire here (as this read once was) ordered nothing and implied a
+  // synchronization edge that does not exist. Exact only at quiescence.
+  return detail::g_arrays_outstanding.load(std::memory_order_relaxed);
 }
 
 /// Allocation failures observed process-wide (pool slab refills and
 /// array_new headers that returned null — injected or real). Monotonic.
 inline uint64_t alloc_failures() {
+  // mo: relaxed — monotonic stats counter, exact only at quiescence.
   return detail::g_alloc_failures.load(std::memory_order_relaxed);
 }
 

@@ -33,10 +33,15 @@ inline std::atomic<bool>& blocking_flag() noexcept {
   return flag;
 }
 
+// The mode is a configuration knob flipped only at quiescence (tests/bench
+// setup); operations never change it mid-flight, so no ordering with data
+// accesses is needed, only eventual visibility.
 inline void set_blocking(bool b) noexcept {
+  // mo: relaxed — quiescent configuration knob (see above).
   blocking_flag().store(b, std::memory_order_relaxed);
 }
 inline bool is_blocking() noexcept {
+  // mo: relaxed — see set_blocking.
   return blocking_flag().load(std::memory_order_relaxed);
 }
 
@@ -61,9 +66,12 @@ inline std::atomic<bool>& ccas_flag() noexcept {
   return flag;
 }
 inline void set_ccas(bool b) noexcept {
+  // mo: relaxed — quiescent configuration knob, same contract as
+  // set_blocking above.
   ccas_flag().store(b, std::memory_order_relaxed);
 }
 inline bool use_ccas() noexcept {
+  // mo: relaxed — see set_ccas.
   return ccas_flag().load(std::memory_order_relaxed);
 }
 
@@ -142,6 +150,9 @@ inline backoff_state_t& backoff_state() noexcept {
 /// FLOCK_BACKOFF_MIN / FLOCK_BACKOFF_MAX / FLOCK_HELP_DELAY).
 inline backoff_tunables backoff_cfg() noexcept {
   auto& s = detail::backoff_state();
+  // mo: relaxed (all three) — tunables only shape backoff timing, never
+  // correctness; a mixed old/new snapshot is explicitly tolerated (see
+  // the racing-sweep note above backoff_state_t).
   return {s.min_spins.load(std::memory_order_relaxed),
           s.max_spins.load(std::memory_order_relaxed),
           s.help_delay.load(std::memory_order_relaxed)};
@@ -152,9 +163,11 @@ inline backoff_tunables backoff_cfg() noexcept {
 inline void set_backoff(backoff_tunables t) noexcept {
   t = clamp_backoff(t);
   auto& s = detail::backoff_state();
+  // mo: relaxed (all three) — each field is clamped-valid on its own, so
+  // readers need no cross-field ordering; see backoff_cfg.
   s.min_spins.store(t.min_spins, std::memory_order_relaxed);
   s.max_spins.store(t.max_spins, std::memory_order_relaxed);
-  s.help_delay.store(t.help_delay, std::memory_order_relaxed);
+  s.help_delay.store(t.help_delay, std::memory_order_relaxed);  // mo: ditto
 }
 
 }  // namespace flock

@@ -43,9 +43,14 @@ struct descriptor {
     // Free any overflow log blocks. Safe: destruction happens either
     // before the descriptor was ever published (loser of an idempotent
     // allocation) or after epoch reclamation says nobody can reach it.
+    // The destroying thread may not be the thread that linked an overflow
+    // block, so it must see the block's initialized contents before
+    // freeing it.
+    // mo: acquire (both loads) — pairs with the acq_rel append CAS in
+    // log.hpp's log_bump.
     log_block* b = head.next.load(std::memory_order_acquire);
     while (b != nullptr) {
-      log_block* nxt = b->next.load(std::memory_order_acquire);
+      log_block* nxt = b->next.load(std::memory_order_acquire);  // mo: ditto
       pool_delete(b);
       b = nxt;
     }
@@ -89,6 +94,8 @@ descriptor* create_descriptor_ctx(thread_context* c, F&& f) {
           ? static_cast<descriptor*>(c->dbg_run_stack[c->dbg_run_depth - 1])
           : nullptr;
 #endif
+  // mo: relaxed — reading our OWN announcement slot (single writer is
+  // this thread); only the value matters, not ordering with other slots.
   int64_t e = c->announced.load(std::memory_order_relaxed);
   mine->epoch = e >= 0 ? e : epoch_manager::instance().current_epoch();
   auto [committed, first] =

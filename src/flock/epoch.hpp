@@ -60,6 +60,9 @@ class epoch_manager {
     struct guard {
       detail::thread_context* c;
       ~guard() {
+        // mo: release — quiescing: every access this thread made to
+        // epoch-protected objects happens-before a collector's acquire
+        // read of -1 (min_announced), so nothing can be freed under us.
         if (--c->epoch_depth == 0)
           c->announced.store(-1, std::memory_order_release);
       }
@@ -87,6 +90,9 @@ class epoch_manager {
 
   /// Current announcement of a thread (-1 when quiescent).
   int64_t announced(int tid) const {
+    // mo: acquire — pairs with the seq_cst announce / release quiesce
+    // stores; an observer acting on the value (lock.hpp adoption checks)
+    // must also see the state published before it.
     return detail::g_ctx[tid].announced.load(std::memory_order_acquire);
   }
 
@@ -95,6 +101,9 @@ class epoch_manager {
   int64_t adopt(int64_t e) { return adopt_ctx(detail::my_ctx(), e); }
 
   int64_t adopt_ctx(detail::thread_context* c, int64_t e) {
+    // mo: relaxed — our OWN announcement slot (this thread is the only
+    // writer); only the value is needed, ordering comes from the seq_cst
+    // store below when we actually lower it.
     int64_t prev = c->announced.load(std::memory_order_relaxed);
     if (prev < 0 || e < prev)
       c->announced.store(e, std::memory_order_seq_cst);
@@ -108,6 +117,9 @@ class epoch_manager {
   }
 
   int64_t current_epoch() const {
+    // mo: acquire — callers stamp descriptors with the result; acquire
+    // keeps the stamp no older than state already observed via the
+    // counter's advance (acq_rel CAS in try_advance).
     return global_.load(std::memory_order_acquire);
   }
 
@@ -142,6 +154,8 @@ class epoch_manager {
   /// go on to read shared state (this validation is what lets reclamation
   /// trust a cached minimum, see header comment).
   void announce(detail::thread_context* c) {
+    // mo: relaxed — just a first guess for the validation loop; the
+    // seq_cst re-read below is what the protocol trusts.
     int64_t e = global_.load(std::memory_order_relaxed);
     c->announced.store(e, std::memory_order_seq_cst);
     int64_t g;
@@ -178,6 +192,8 @@ class epoch_manager {
   void seal(detail::thread_context* c) {
     detail::retire_batch* b = c->open;
     c->open = nullptr;
+    // mo: acquire — the stamp must upper-bound every member's retire
+    // epoch; acquire keeps it no older than advances already observed.
     b->epoch = global_.load(std::memory_order_acquire);
     b->next = nullptr;
     if (c->sealed_tail == nullptr)
@@ -191,6 +207,9 @@ class epoch_manager {
     FLOCK_FAULTPOINT("epoch.seal");
     seal(c);
     // Cheap pass: the cached bound, no scanning.
+    // mo: acquire — pairs with the acq_rel raise in refresh_bound(); a
+    // bound published by another thread's scan implies its announcement
+    // reads, which this drain's frees rely on.
     drain_sealed(c, min_bound_.load(std::memory_order_acquire));
     if (c->sealed_head != nullptr) {
       // Backlog persists: pay for one scan + advance, refresh the cache.
@@ -217,6 +236,9 @@ class epoch_manager {
     int64_t mn = INT64_MAX;
     const int bound = thread_id_bound();
     for (int i = 0; i < bound; i++) {
+      // mo: acquire — pairs with the release quiesce store (with_epoch
+      // guard): reading -1 means that thread's accesses to protected
+      // objects happen-before any free this scan justifies.
       int64_t e = detail::g_ctx[i].announced.load(std::memory_order_acquire);
       if (e >= 0 && e < mn) mn = e;
     }
@@ -234,7 +256,12 @@ class epoch_manager {
     const int64_t g = global_.load(std::memory_order_seq_cst);
     int64_t mn = min_announced();
     int64_t cacheable = mn == INT64_MAX ? g : (mn < g ? mn : g);
+    // mo: relaxed — seeds the CAS expected value only; the CAS re-reads
+    // with its own ordering on failure.
     int64_t cur = min_bound_.load(std::memory_order_relaxed);
+    // mo: acq_rel — monotone-max raise: release publishes the scan this
+    // bound summarizes to seal_and_reclaim's acquire read; acquire so a
+    // loser sees the winner's larger bound and exits the loop.
     while (cacheable > cur && !min_bound_.compare_exchange_weak(
                                   cur, cacheable, std::memory_order_acq_rel)) {
     }
@@ -242,11 +269,16 @@ class epoch_manager {
   }
 
   void try_advance() {
+    // mo: acquire — the scan below must run against announcements no
+    // older than the counter value we will advance from.
     int64_t g = global_.load(std::memory_order_acquire);
     int64_t mn = min_announced();
     // Advance only when every announced thread has caught up with the
     // current epoch; this bounds the distance between announcements and
     // the global counter to one advance per full quiescence cycle.
+    // mo: acq_rel — release publishes the advance so stamps taken from
+    // the new value imply this scan; acquire mirrors the load above when
+    // the CAS fails and refreshes g.
     if (mn == INT64_MAX || mn >= g)
       global_.compare_exchange_strong(g, g + 1, std::memory_order_acq_rel);
   }

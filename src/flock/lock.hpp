@@ -226,6 +226,9 @@ template <bool Ccas>
 inline bool run_and_unlock(thread_context* c, lock_word& st, descriptor* d) {
   FLOCK_DBG_API(c->dbg_held++);
   bool result = d->run(c);
+  // mo: release — publishes the thunk's effects (and its committed log
+  // entries) to the acquire done-reads in help_throttled and the nested
+  // acquisition paths.
   d->done.store(true, std::memory_order_release);
   // Chaos window: done published, unlock CAS pending — the finish-line
   // stall that help_throttled's done-but-locked signal targets.
@@ -281,6 +284,9 @@ inline bool help_throttled(thread_context* c, lock_word& st,
   // (descheduled between its done-store and its unlock CAS). Only the
   // unlock CAS remains, so help immediately — it is nearly free and
   // releases the lock for every waiter.
+  // mo: acquire — pairs with the release done-store in run_and_unlock;
+  // seeing done=true implies the thunk's effects are visible before we
+  // act on the finished state.
   if (!d->done.load(std::memory_order_acquire)) {
     backoff bo(c);
     while (!bo.exhausted()) {
@@ -294,6 +300,7 @@ inline bool help_throttled(thread_context* c, lock_word& st,
         c->stat_helps_avoided++;
         return false;
       }
+      // mo: acquire — same pairing as the entry done-read above.
       if (d->done.load(std::memory_order_acquire)) break;
     }
     // Stall signal #2: the word did not move for the whole budget — the
@@ -394,6 +401,9 @@ bool try_lock_helping(thread_context* c, lock_word& st, F&& f) {
     // judged. Consumes no log slots, so replays may legally diverge here.
     FLOCK_FAULTPOINT("lock.install.post");
     uint64_t nowv = val_of(st.load_packed_ctx<Ccas>(c));  // logged
+    // mo: acquire — raw done-read folded into the log via commit_bool;
+    // pairs with run_and_unlock's release so an adopted "done" implies
+    // the thunk's effects.
     bool d_done =
         commit_bool_ctx<Ccas>(c, d->done.load(std::memory_order_acquire));
     if (d_done || nowv == minev) {
@@ -448,6 +458,8 @@ bool strict_lock_helping(thread_context* c, lock_word& st, F&& f) {
       st.cas_raw_packed_ctx<Ccas>(c, cur, minev);
       FLOCK_FAULTPOINT("lock.install.post");  // no log slots consumed
       uint64_t nowv = val_of(st.load_packed_ctx<Ccas>(c));  // logged
+      // mo: acquire — same logged done-read as try_lock_helping's nested
+      // path; pairs with run_and_unlock's release.
       bool d_done =
           commit_bool_ctx<Ccas>(c, d->done.load(std::memory_order_acquire));
       if (d_done || nowv == minev) {

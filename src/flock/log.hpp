@@ -54,8 +54,11 @@ struct log_block {
   /// Reset for pool reuse. Only legal when no other thread can access the
   /// block (e.g. a never-helped descriptor, see lock.hpp).
   void reset() {
+    // mo: relaxed (both) — reuse precondition above means no concurrent
+    // access; re-publication to other threads goes through the pool /
+    // descriptor-install release edges.
     for (auto& e : entries) e.v.store(kLogEmpty, std::memory_order_relaxed);
-    next.store(nullptr, std::memory_order_relaxed);
+    next.store(nullptr, std::memory_order_relaxed);  // mo: ditto
   }
 };
 
@@ -82,10 +85,15 @@ namespace detail {
 /// Move the cursor to the next slot, growing the chain idempotently.
 inline void log_bump(thread_context* c, log_cursor& cur) {
   if (++cur.pos < kLogBlockEntries) return;
+  // mo: acquire — pairs with the acq_rel append CAS below: a helper that
+  // sees another run's block must also see its reset() contents.
   log_block* nxt = cur.block->next.load(std::memory_order_acquire);
   if (nxt == nullptr) {
     log_block* mine = pool_new_ctx<log_block>(c);
     log_block* expected = nullptr;
+    // mo: acq_rel — release publishes the freshly reset block to other
+    // runs of this thunk; acquire on failure so `expected` (the winner's
+    // block) is safe to walk into.
     if (cur.block->next.compare_exchange_strong(expected, mine,
                                                 std::memory_order_acq_rel)) {
       nxt = mine;
@@ -113,10 +121,16 @@ inline std::pair<u128, bool> commit_raw_ctx(thread_context* c, u128 payload) {
   const u128 desired = payload | kLogPresent;
   if constexpr (Ccas) {
     // Compare-and-compare-and-swap (§6): skip the CAS when already full.
+    // mo: acquire — adopting a value another run committed must also
+    // acquire whatever that run published before committing it (e.g. the
+    // object a committed pointer refers to).
     u128 seen = slot.v.load(std::memory_order_acquire);
     if (seen != kLogEmpty) return {seen & ~kLogPresent, false};
   }
   u128 expected = kLogEmpty;
+  // mo: acq_rel — release so the committed payload's referent is visible
+  // to runs that adopt it; acquire on failure for the same adoption
+  // argument as the ccas pre-check above.
   if (slot.v.compare_exchange_strong(expected, desired,
                                      std::memory_order_acq_rel)) {
     return {payload, true};

@@ -55,12 +55,16 @@ class mutable_ {
 
   /// Non-atomic initialization (object not yet shared).
   void init(T v) {
+    // mo: relaxed — pre-publication by contract; the edge that shares
+    // the object (e.g. a committed pointer, a lock-word CAS) releases.
     word_.store(pack_tagged(1, to_bits48(v)), std::memory_order_relaxed);
   }
 
   /// Idempotent load: logged inside a thunk (Alg. 2 line 40).
   T load() const {
     detail::thread_context* c = detail::my_ctx();
+    // mo: acquire — a loaded pointer must carry the referent's
+    // initialization (published by the seq_cst installing CAS).
     uint64_t p = word_.load(std::memory_order_acquire);
     if (c->log.block != nullptr) {
       p = use_ccas() ? detail::commit64_ctx<true>(c, p)
@@ -114,6 +118,8 @@ class mutable_ {
   /// Logged load returning the full packed word (lock implementation).
   template <bool Ccas>
   uint64_t load_packed_ctx(detail::thread_context* c) const {
+    // mo: acquire — same pairing as load(): the packed value may be a
+    // pointer whose referent must be visible to the caller.
     uint64_t p = word_.load(std::memory_order_acquire);
     if (c->log.block != nullptr) p = detail::commit64_ctx<Ccas>(c, p);
     return p;
@@ -128,15 +134,19 @@ class mutable_ {
   // effects-once steps that must not consume enclosing log slots, by
   // blocking mode, and by read-only code outside of any thunk. -------------
   T read_raw() const {
+    // mo: acquire — unlogged read-only path; still carries a loaded
+    // pointer's referent (same pairing as load()).
     return from_bits48<T>(val_of(word_.load(std::memory_order_acquire)));
   }
   uint64_t read_raw_packed() const {
+    // mo: acquire — see read_raw.
     return word_.load(std::memory_order_acquire);
   }
   /// Relaxed read of the packed word, for local spin-waiting (the backoff
   /// re-checks in lock.hpp): a stale value only costs an extra round, and
   /// any decision taken after the spin revalidates with an ordered read.
   uint64_t read_raw_packed_relaxed() const {
+    // mo: relaxed — spin-wait probe only; see the doc comment above.
     return word_.load(std::memory_order_relaxed);
   }
   /// seq_cst read of the packed word: participates in the helped/unlock
@@ -166,7 +176,11 @@ class mutable_ {
 
   /// Plain release store (blocking mode only: no helpers exist).
   void store_raw(T v) {
+    // mo: acquire — reads the current tag; under blocking mode the lock
+    // already orders stores, acquire keeps readers-outside-locks safe.
     uint64_t oldp = word_.load(std::memory_order_acquire);
+    // mo: release — publishes the stored value's referent to the acquire
+    // loads above (the §5 blocking-mode store).
     word_.store(pack_tagged(detail::next_tag(this, oldp), to_bits48(v)),
                 std::memory_order_release);
   }
@@ -177,6 +191,8 @@ class mutable_ {
                       uint64_t desired) {
     if constexpr (Ccas) {
       // compare-and-compare-and-swap (§6)
+      // mo: acquire — the pre-check substitutes for the CAS's failure
+      // path, so it needs the CAS failure ordering (acquire) too.
       if (word_.load(std::memory_order_acquire) != expected) return false;
     }
     // The window between (c)cas validation and the committing CAS: the
@@ -187,6 +203,8 @@ class mutable_ {
     // seq_cst (not acq_rel) so lock-word CASes participate in the
     // hand-off protocol's total order (lock.hpp); identical code on x86,
     // where a locked RMW is a full barrier either way.
+    // mo: acquire (failure) — a failed install still observes the
+    // winner's word, e.g. a descriptor the caller may go on to help.
     return word_.compare_exchange_strong(expected, desired,
                                          std::memory_order_seq_cst,
                                          std::memory_order_acquire);
@@ -247,6 +265,8 @@ class alignas(16) mutable_dw {
   }
 
   T read_raw() const {
+    // mo: acquire — value half only; carries a loaded pointer's referent
+    // like the compact flavor's read_raw.
     return from_bits(__atomic_load_n(&rep_.val, __ATOMIC_ACQUIRE));
   }
 
@@ -283,6 +303,10 @@ class alignas(16) mutable_dw {
   /// to this location cannot race by assumption).
   template <bool Ccas>
   rep load_pair_ctx(detail::thread_context* c) const {
+    // Counter first, then value: the acquire on cnt keeps the value read
+    // no older than the counter it is paired with, and the value's
+    // acquire carries its referent (see load()).
+    // mo: acquire (both halves of the §6 unpaired read).
     uint64_t cnt = __atomic_load_n(&rep_.cnt, __ATOMIC_ACQUIRE);
     uint64_t v = __atomic_load_n(&rep_.val, __ATOMIC_ACQUIRE);
     if (c->log.block != nullptr) {
@@ -299,9 +323,14 @@ class alignas(16) mutable_dw {
   template <bool Ccas>
   bool cas_pair(rep expected, rep desired) {
     if constexpr (Ccas) {
+      // mo: acquire — ccas pre-check stands in for the CAS failure path
+      // (same argument as the compact flavor's cas_packed_ctx).
       uint64_t cnt = __atomic_load_n(&rep_.cnt, __ATOMIC_ACQUIRE);
       if (cnt != expected.cnt) return false;
     }
+    // mo: acq_rel / acquire-on-failure — release publishes the stored
+    // value's referent to load_pair_ctx's acquire reads; mutable_dw words
+    // are not lock words, so the seq_cst hand-off argument does not apply.
     return __atomic_compare_exchange(&rep_, &expected, &desired,
                                      /*weak=*/false, __ATOMIC_ACQ_REL,
                                      __ATOMIC_ACQUIRE);

@@ -60,6 +60,8 @@ inline stats_snapshot stats() {
     s.backoff_spins += c.stat_backoff_spins;
   }
   s.alloc_failures = alloc_failures();
+  // mo: relaxed — monotonic monitoring counter, same approximate-snapshot
+  // contract as the per-thread cells above.
   s.resize_deferrals =
       detail::g_resize_deferrals.load(std::memory_order_relaxed);
   s.chaos_stalls = flock_chaos::stalls_injected();

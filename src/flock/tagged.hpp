@@ -50,6 +50,9 @@ class announce_guard {
  public:
   announce_guard(thread_context* c, const void* loc, uint64_t packed)
       : c_(c) {
+    // mo: relaxed — ann_packed is published by the ann_loc store below
+    // (scanners read ann_loc first and only then ann_packed, so the
+    // release/fence on ann_loc orders this store for them).
     c_->ann_packed.store(packed, std::memory_order_relaxed);
 #if defined(__x86_64__) || defined(__i386__)
     // TSO: stores retire in order and the LOCK-prefixed CAS that every
@@ -59,8 +62,12 @@ class announce_guard {
     // CAS either: the CAS's release half must publish earlier writes.)
     // This removes one mfence from every mutable store/CAM and from every
     // lock acquire/release.
+    // mo: release — orders ann_packed before ann_loc for scanners; the
+    // store->CAS ordering is the hardware argument above.
     c_->ann_loc.store(loc, std::memory_order_release);
 #else
+    // mo: relaxed — the seq_cst fence right below globally orders both
+    // announcement stores before the caller's CAS (non-TSO fallback).
     c_->ann_loc.store(loc, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
 #endif
@@ -70,6 +77,9 @@ class announce_guard {
   announce_guard(const announce_guard&) = delete;
   announce_guard& operator=(const announce_guard&) = delete;
   ~announce_guard() {
+    // mo: release — a scanner that reads this nullptr must also see the
+    // CAS the announcement protected; relaxed would let it un-ban a tag
+    // while the CAS is still in flight on a weak machine.
     c_->ann_loc.store(nullptr, std::memory_order_release);
   }
 
@@ -89,8 +99,13 @@ inline uint64_t next_tag(const void* loc, uint64_t cur_packed) {
   int nbanned = 0;
   const int bound = thread_id_bound();
   for (int i = 0; i < bound; i++) {
+    // mo: acquire — pairs with the announcer's release on ann_loc: seeing
+    // loc here guarantees the matching ann_packed store below is visible.
     if (g_ctx[i].ann_loc.load(std::memory_order_acquire) == loc)
       banned[nbanned++] =
+          // mo: acquire — read after ann_loc matched; acquire keeps the
+          // two loads ordered (relaxed would allow the packed read to
+          // hoist above the ann_loc check and observe a stale pair).
           tag_of(g_ctx[i].ann_packed.load(std::memory_order_acquire));
   }
   for (t = 1;; t++) {  // at most kMaxThreads+1 iterations

@@ -132,11 +132,20 @@ class id_allocator {
   /// Upper bound (exclusive) on ids ever handed out; all slot scans use
   /// this instead of kMaxThreads to stay cheap.
   int high_water() const {
+    // A scanner that reads bound n sees at least the (mutex-published) id
+    // handout, and every g_ctx slot below the bound is a static whose
+    // previous holder left it quiescent (announced=-1, ann_loc=null), so
+    // a raced raise can only expose a benign idle slot, never garbage.
+    // mo: acquire — pairs with the acq_rel raise in note_high_water.
     return next_hint_.load(std::memory_order_acquire);
   }
 
   void note_high_water(int n) {
+    // mo: relaxed — only seeds the CAS expected value; the CAS re-reads
+    // with its own ordering on failure.
     int cur = next_hint_.load(std::memory_order_relaxed);
+    // mo: acq_rel — monotone-max CAS: release for high_water()'s acquire,
+    // acquire so a loser observes the raiser's larger bound and exits.
     while (n > cur &&
            !next_hint_.compare_exchange_weak(cur, n, std::memory_order_acq_rel)) {
     }
@@ -167,8 +176,11 @@ inline thread_local thread_context* tl_ctx = nullptr;
       c->id = id;
       c->log = {};
       c->epoch_depth = 0;
+      // mo: relaxed (both) — these rewrite the previous holder's already
+      // quiescent values with the same quiescent values; the id hand-off
+      // itself synchronizes through the allocator mutex.
       c->announced.store(-1, std::memory_order_relaxed);
-      c->ann_loc.store(nullptr, std::memory_order_relaxed);
+      c->ann_loc.store(nullptr, std::memory_order_relaxed);  // mo: ditto
 #ifdef FLOCK_DEBUG_API
       c->dbg_run_depth = 0;
       c->dbg_held = 0;

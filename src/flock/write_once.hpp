@@ -27,12 +27,17 @@ class write_once {
   write_once(const write_once&) = delete;
   write_once& operator=(const write_once&) = delete;
 
+  // mo: relaxed — pre-publication init; the object becomes shared only
+  // through a subsequent release operation (pool allocate / CS publish).
   void init(T v) { word_.store(to_bits48(v), std::memory_order_relaxed); }
 
   /// Idempotent (logged) load. One context fetch; the commit core is
   /// specialized on the ccas flag resolved here.
   T load() const {
     detail::thread_context* c = detail::my_ctx();
+    // mo: acquire — pairs with store()'s release so a reader that sees
+    // the updated value also sees everything published before it (e.g.
+    // the bucket copies a forwarded flag covers).
     uint64_t b = word_.load(std::memory_order_acquire);
     if (c->log.block != nullptr) {
       b = use_ccas() ? detail::commit64_ctx<true>(c, b)
@@ -47,6 +52,9 @@ class write_once {
   /// explorer gets a yield point here; erased without FLOCK_CHAOS.
   void store(T v) {
     FLOCK_SCHEDPOINT("wo.publish");
+    // mo: release — the §6 publication write: everything the storing
+    // thunk wrote before this flag must be visible to any acquire reader
+    // that observes the new value.
     word_.store(to_bits48(v), std::memory_order_release);
   }
 
@@ -56,6 +64,8 @@ class write_once {
   }
 
   T read_raw() const {
+    // mo: acquire — same pairing as load(): raw readers (epoch-guarded
+    // scans, forwarded-flag chases) must see the writes the flag covers.
     return from_bits48<T>(word_.load(std::memory_order_acquire));
   }
 

@@ -91,7 +91,9 @@ void concurrent_stress(Set& s, int threads, uint64_t key_range,
           if (s.remove(k)) mine[k]--;
         } else {
           auto v = s.find(k);
-          if (v.has_value()) ASSERT_EQ(*v, k);
+          if (v.has_value()) {
+            ASSERT_EQ(*v, k);
+          }
         }
       }
     });

@@ -31,7 +31,9 @@ TEST_P(AbtreeTest, MonotoneFillForcesSplits) {
   flock_workload::abtree_try s;
   for (uint64_t k = 1; k <= 5000; k++) {
     ASSERT_TRUE(s.insert(k, k * 2));
-    if (k % 1000 == 0) ASSERT_TRUE(s.check_invariants()) << "at " << k;
+    if (k % 1000 == 0) {
+      ASSERT_TRUE(s.check_invariants()) << "at " << k;
+    }
   }
   EXPECT_EQ(s.size(), 5000u);
   for (uint64_t k = 1; k <= 5000; k++) ASSERT_EQ(*s.find(k), k * 2);
@@ -62,7 +64,9 @@ TEST_P(AbtreeTest, RandomizedStructuralAudit) {
     } else {
       ASSERT_EQ(s.remove(k), oracle.erase(k) > 0);
     }
-    if (i % 5000 == 0) ASSERT_TRUE(s.check_invariants()) << "op " << i;
+    if (i % 5000 == 0) {
+      ASSERT_TRUE(s.check_invariants()) << "op " << i;
+    }
   }
   ASSERT_TRUE(s.check_invariants());
   ASSERT_EQ(s.size(), oracle.size());

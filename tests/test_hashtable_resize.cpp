@@ -156,8 +156,12 @@ TEST_P(HashtableResizeTest, MoveAcrossTablesMidResize) {
         uint64_t k = rng() % kKeys + 1;
         auto va = a.find(k);
         auto vb = b.find(k);
-        if (va.has_value()) ASSERT_EQ(*va, k * 7);
-        if (vb.has_value()) ASSERT_EQ(*vb, k * 7);
+        if (va.has_value()) {
+          ASSERT_EQ(*va, k * 7);
+        }
+        if (vb.has_value()) {
+          ASSERT_EQ(*vb, k * 7);
+        }
       }
     });
   }

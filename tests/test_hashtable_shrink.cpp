@@ -69,8 +69,11 @@ TEST_P(HashtableShrinkTest, ShrinkPreservesResidentKeysAndValues) {
   const uint64_t n = 1 << 14;
   for (uint64_t k = 1; k <= n; k++) ASSERT_TRUE(t.insert(k, k * 5));
   const std::size_t peak = t.bucket_count();
-  for (uint64_t k = 1; k <= n; k++)
-    if (k % 64 != 0) ASSERT_TRUE(t.remove(k));
+  for (uint64_t k = 1; k <= n; k++) {
+    if (k % 64 != 0) {
+      ASSERT_TRUE(t.remove(k));
+    }
+  }
 
   churn_until_shrunk(t, peak / 8);
 

@@ -117,8 +117,12 @@ TEST_P(MoveTest, PingPongIntegrity) {
       while (!stop.load(std::memory_order_relaxed)) {
         auto va = a.find(7);
         auto vb = b.find(7);
-        if (va.has_value()) ASSERT_EQ(*va, 77u);
-        if (vb.has_value()) ASSERT_EQ(*vb, 77u);
+        if (va.has_value()) {
+          ASSERT_EQ(*va, 77u);
+        }
+        if (vb.has_value()) {
+          ASSERT_EQ(*vb, 77u);
+        }
       }
     });
   }

@@ -254,7 +254,9 @@ sched::scenario make_grow_scenario(std::shared_ptr<grow_state> st,
     // Racing read of the sibling's insert: hit or miss is
     // schedule-dependent (fingerprinted), but never a wrong value.
     st->peek = st->ht->find(1000);
-    if (st->peek.has_value()) EXPECT_EQ(*st->peek, 1);
+    if (st->peek.has_value()) {
+      EXPECT_EQ(*st->peek, 1);
+    }
   });
   sc.on_final = [st](const sched::run_report& rep) {
     EXPECT_TRUE(st->ra) << rep.schedule_string();
@@ -438,15 +440,17 @@ TEST_F(ScheduleTest, EpochRetireVsAnnounceExhaustiveWithKills) {
     // they do not unprotect it. (Once the reader has exited its epoch,
     // `loaded` is a stale pointer the writer may legally have reclaimed,
     // so the check only applies while the reader is parked inside.)
-    if (!st->reader_done && st->loaded != nullptr)
+    if (!st->reader_done && st->loaded != nullptr) {
       EXPECT_EQ(st->loaded->magic, epoch_node::kMagic);
+    }
   };
   sc.on_final = [st](const sched::run_report& rep) {
     // On every schedule: the reader saw the node before the unlink
     // (magic intact — epoch protection held through the writer's whole
     // retire/seal flood) or a clean null. Never the poison value.
-    if (st->observed.has_value())
+    if (st->observed.has_value()) {
       EXPECT_EQ(*st->observed, epoch_node::kMagic) << rep.schedule_string();
+    }
   };
   sc.fingerprint = [st] {
     return st->observed.has_value() ? std::to_string(*st->observed) : "null";

@@ -30,19 +30,19 @@ TEST(Tagged, BitCastHelpers) {
 }
 
 TEST(Tagged, NextTagIncrementsFastPath) {
-  int loc;
+  int loc = 0;
   uint64_t p = flock::pack_tagged(5, 0);
   EXPECT_EQ(flock::detail::next_tag(&loc, p), 6u);
 }
 
 TEST(Tagged, NextTagWrapsSkippingZero) {
-  int loc;
+  int loc = 0;
   uint64_t p = flock::pack_tagged(flock::kTagLimit - 1, 0);
   EXPECT_EQ(flock::detail::next_tag(&loc, p), 1u);
 }
 
 TEST(Tagged, WrapSkipsAnnouncedTags) {
-  int loc;
+  int loc = 0;
   // Announce tags 1 and 2 for this location from this thread's slot by
   // nesting guards (each guard uses the same slot; use two threads to hold
   // two distinct announcements).
@@ -72,7 +72,7 @@ TEST(Tagged, WrapSkipsAnnouncedTags) {
 }
 
 TEST(Tagged, WrapIgnoresOtherLocations) {
-  int loc, other;
+  int loc = 0, other = 0;
   std::atomic<bool> hold{true}, ready{false};
   std::thread t1([&] {
     flock::detail::announce_guard g(&other, flock::pack_tagged(1, 0));
@@ -89,7 +89,7 @@ TEST(Tagged, WrapIgnoresOtherLocations) {
 }
 
 TEST(Tagged, AnnounceGuardClearsSlot) {
-  int loc;
+  int loc = 0;
   {
     flock::detail::announce_guard g(&loc, flock::pack_tagged(3, 0));
   }

@@ -1,0 +1,107 @@
+// baseline.hpp — reviewed-escape list for flock-lint.
+//
+// A baseline entry records a finding a human has reviewed and argued
+// correct (the argument lives in the `#` comment above the entry). Format,
+// one finding per line:
+//
+//     RULE|path|normalized source line
+//
+// The third field is the finding's source line with whitespace collapsed
+// (source_file.hpp normalize_ws), NOT a line number — entries survive
+// reindentation and code motion but go stale the moment the offending
+// line is edited, which is exactly when the escape needs re-review.
+// Multiple identical source lines in one file (e.g. a repeated idiom)
+// are covered by a single entry; that is deliberate — the reviewed
+// argument is about the line's content.
+//
+// Stale entries (matching no current finding) are reported by the CLI and
+// fail the run: a baseline may only describe the tree as it is.
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace flock_lint {
+
+class baseline {
+ public:
+  /// Parse baseline text. Malformed lines are reported via `errors` and
+  /// skipped. '#' starts a comment; blank lines ignored.
+  static baseline parse(const std::string& text,
+                        std::vector<std::string>* errors = nullptr) {
+    baseline b;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      lineno++;
+      std::string stripped = line;
+      if (auto h = stripped.find('#'); h == 0) continue;  // comment line
+      // Trim trailing \r and surrounding spaces.
+      while (!stripped.empty() &&
+             (stripped.back() == '\r' || stripped.back() == ' '))
+        stripped.pop_back();
+      if (stripped.empty()) continue;
+      std::size_t p1 = stripped.find('|');
+      std::size_t p2 = p1 == std::string::npos ? std::string::npos
+                                               : stripped.find('|', p1 + 1);
+      if (p2 == std::string::npos) {
+        if (errors)
+          errors->push_back("baseline line " + std::to_string(lineno) +
+                            ": want RULE|path|snippet, got: " + stripped);
+        continue;
+      }
+      entry e;
+      e.rule = stripped.substr(0, p1);
+      e.path = stripped.substr(p1 + 1, p2 - p1 - 1);
+      e.snippet = normalize_ws(stripped.substr(p2 + 1));
+      e.text = stripped;
+      b.entries_.push_back(e);
+    }
+    return b;
+  }
+
+  /// True if the finding is covered; marks the entry used.
+  bool matches(const finding& f) {
+    for (entry& e : entries_) {
+      if (e.rule == f.rule && e.path == f.path && e.snippet == f.snippet &&
+          !f.snippet.empty()) {
+        e.used = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Entries that never matched a finding (stale — must be pruned).
+  std::vector<std::string> unused() const {
+    std::vector<std::string> out;
+    for (const entry& e : entries_)
+      if (!e.used) out.push_back(e.text);
+    return out;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Serialize findings as baseline entries (CLI --write-baseline; the
+  /// human then adds the justification comments).
+  static std::string serialize(const std::vector<finding>& fs) {
+    std::ostringstream out;
+    for (const finding& f : fs)
+      out << f.rule << "|" << f.path << "|" << f.snippet << "\n";
+    return out.str();
+  }
+
+ private:
+  struct entry {
+    std::string rule, path, snippet, text;
+    bool used = false;
+  };
+  std::vector<entry> entries_;
+};
+
+}  // namespace flock_lint
