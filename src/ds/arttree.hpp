@@ -74,12 +74,15 @@ class arttree {
     flock::mutable_<node*> children[N];
     explicit narrow(ntype t) : inner(t) {
       for (int i = 0; i < N; i++) {
+        // mo: relaxed — constructor store, pre-publication (see NOTE above);
+        // the idempotent-allocate commit publishes the whole node.
         bytes[i].store(0, std::memory_order_relaxed);
         children[i].init(nullptr);
       }
     }
     // Single-entry chain node.
     narrow(ntype t, uint8_t b, node* c) : narrow(t) {
+      // mo: relaxed — constructor store, pre-publication (ditto).
       bytes[0].store(b, std::memory_order_relaxed);
       children[0].init(c);
       this->count.init(1);
@@ -87,6 +90,7 @@ class arttree {
     // Two-entry fork.
     narrow(ntype t, uint8_t b1, node* c1, uint8_t b2, node* c2)
         : narrow(t) {
+      // mo: relaxed (both) — constructor stores, pre-publication (ditto).
       bytes[0].store(b1, std::memory_order_relaxed);
       bytes[1].store(b2, std::memory_order_relaxed);
       children[0].init(c1);
@@ -96,6 +100,7 @@ class arttree {
     // Harvest copy (grow path).
     narrow(ntype t, const uint8_t* bs, node* const* cs, int n) : narrow(t) {
       for (int i = 0; i < n; i++) {
+        // mo: relaxed — constructor store, pre-publication (ditto).
         bytes[i].store(bs[i], std::memory_order_relaxed);
         children[i].init(cs[i]);
       }
@@ -109,12 +114,14 @@ class arttree {
     std::atomic<uint8_t> index[256];  // 0 = empty, else child slot + 1
     flock::mutable_<node*> children[48];
     node48() : inner(N48) {
+      // mo: relaxed — constructor store, pre-publication (see NOTE above).
       for (auto& i : index) i.store(0, std::memory_order_relaxed);
       for (auto& c : children) c.init(nullptr);
     }
     node48(const uint8_t* bs, node* const* cs, int n) : node48() {
       for (int i = 0; i < n; i++) {
         children[i].init(cs[i]);
+        // mo: relaxed — constructor store, pre-publication (ditto).
         index[bs[i]].store(static_cast<uint8_t>(i + 1),
                            std::memory_order_relaxed);
       }
@@ -169,6 +176,8 @@ class arttree {
           int c = static_cast<int>(nn->count.read_raw());
           if (c > cap) c = cap;
           for (int i = 0; i < c; i++)
+            // mo: acquire — pairs with the appender's release byte store so
+            // a matching byte implies the child slot's store is visible.
             if (nn->bytes[i].load(std::memory_order_acquire) == b)
               return &nn->children[i];
           return nullptr;
@@ -178,6 +187,8 @@ class arttree {
       }
       case N48: {
         auto* nn = static_cast<node48*>(n);
+        // mo: acquire — pairs with append_child's release index store; a
+        // nonzero slot implies the child pointer's store is visible.
         uint8_t s = nn->index[b].load(std::memory_order_acquire);
         return s == 0 ? nullptr : &nn->children[s - 1];
       }
@@ -332,6 +343,8 @@ class arttree {
         auto* nn = static_cast<node48*>(n);
         return acquire(nn->lck, [=] {
           if (nn->removed.load()) return false;
+          // mo: acquire — matching find_slot's reader side; under the node
+          // lock the value is stable, the order just keeps one protocol.
           uint8_t existing = static_cast<uint8_t>(flock::commit_value(
               nn->index[b].load(std::memory_order_acquire)));
           if (existing != 0) return false;  // raced: re-descend
@@ -340,6 +353,8 @@ class arttree {
           nn->children[c].store(flock::allocate<leafnode>(k, v));
           // Same-value store for stale replays; appends serialize under
           // the node lock.
+          // mo: release — publishes the child-slot store above to
+          // find_slot's acquire index load (lock-free readers).
           nn->index[b].store(static_cast<uint8_t>(c + 1),
                              std::memory_order_release);
           nn->count.store(c + 1);  // logged, tag-protected
@@ -363,9 +378,14 @@ class arttree {
       // appended it between our descent and taking the lock). Entries
       // below `c` are immutable, so the scan is deterministic across
       // replays given the logged count.
+      // mo: acquire — matching find_slot's reader side (one protocol).
       for (uint64_t i = 0; i < c; i++)
         if (nn->bytes[i].load(std::memory_order_acquire) == b) return false;
-      nn->bytes[c].store(b, std::memory_order_release);  // same-value store
+      // Publishes nothing yet (the child store follows); a reader that
+      // matches this byte loads the child slot through mutable_'s own
+      // synchronization. Same-value store across replays (see baseline).
+      // mo: release — keeps byte stores ordered for find_slot's scan.
+      nn->bytes[c].store(b, std::memory_order_release);
       nn->children[c].store(flock::allocate<leafnode>(k, v));
       nn->count.store(c + 1);  // logged, tag-protected
       return true;
@@ -445,6 +465,8 @@ class arttree {
       for (uint64_t i = 0; i < c; i++) {
         node* ch = nn->children[i].load();
         if (ch == nullptr) continue;  // tombstone: compact away
+        // mo: acquire — reader-side byte load (same protocol as find_slot);
+        // entries below the logged count are immutable anyway.
         bs[live] = nn->bytes[i].load(std::memory_order_acquire);
         cs[live] = ch;
         live++;
@@ -460,6 +482,8 @@ class arttree {
       case N48: {
         auto* src = static_cast<node48*>(n);
         for (int b = 0; b < 256; b++) {
+          // mo: acquire — nonzero slot implies the child store is visible
+          // (pairs with append_child's release), as in find_slot.
           uint8_t s = src->index[b].load(std::memory_order_acquire);
           if (s == 0) continue;
           node* ch = src->children[s - 1].load();  // logged
@@ -528,6 +552,8 @@ class arttree {
           if (c > cap) c = cap;
           for (int i = 0; i < c; i++) {
             node* ch = nn->children[i].read_raw();
+            // mo: acquire — reader-side byte load, same protocol as
+            // find_slot (audit walks run at quiescence anyway).
             if (ch != nullptr)
               f(nn->bytes[i].load(std::memory_order_acquire), ch);
           }
@@ -541,6 +567,8 @@ class arttree {
       case N48: {
         auto* nn = static_cast<node48*>(n);
         for (int b = 0; b < 256; b++) {
+          // mo: acquire — reader-side index load, same protocol as
+          // find_slot (audit walks run at quiescence anyway).
           uint8_t s = nn->index[b].load(std::memory_order_acquire);
           if (s == 0) continue;
           node* ch = nn->children[s - 1].read_raw();

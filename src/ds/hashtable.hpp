@@ -61,6 +61,7 @@
 //    help_resize), so no single stalled thread can wedge the resize.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +81,22 @@ inline uint64_t splitmix64(uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+/// Process-wide count of bucket-array retirements (any table of any map),
+/// bumped in retire_table BEFORE the array enters the epoch reclaimer.
+/// This is the pointer-safety authority for memoized reads
+/// (store/read_cache.hpp): a live table's bucket array can only ever be
+/// freed through retire_table (the destructor frees arrays too, but a
+/// destroyed map's entries are unreachable — owner ids are never reused),
+/// so a reader that (1) arms its epoch announcement, (2) loads this era,
+/// and then (3) observes the era unchanged at validation time knows the
+/// array behind a memoized version pointer was never even SCHEDULED for
+/// reclamation — it is alive, no matter how many epochs passed or how the
+/// thread's announcement moved in between. A retirement concurrent with
+/// step (3) cannot bite either: it happens at an epoch no older than the
+/// reader's armed announcement, so the free stays blocked while the
+/// reader is pinned.
+inline constinit std::atomic<uint64_t> g_table_retire_era{0};
 
 template <class K, class V, bool Strict>
 class hashtable;
@@ -113,6 +130,17 @@ class hashtable {
   struct bucket : chain_head {
     flock::lock lck;  // the bucket lock: every update to the chain and
                       // the bucket's one migration run under it
+    // Seqlock version word for the optimistic read path: even = quiet,
+    // odd = a writer's critical section may be in flight. Every mutation
+    // of this bucket's chain — updates AND the bucket's migration unit —
+    // is bracketed by ver_begin/ver_end around its lock acquisition (the
+    // bumps are raw RMWs and must stay OUTSIDE the idempotent thunk, see
+    // ver_begin). A reader that observes the same even value before and
+    // after an unlogged walk holds a consistent snapshot; a single later
+    // reload validating against a captured even value proves the chain
+    // unchanged since (read_probe / store/read_cache.hpp). 64-bit: never
+    // wraps, so validation is ABA-free.
+    std::atomic<uint64_t> version{0};
   };
 
   struct table {
@@ -141,6 +169,84 @@ class hashtable {
       return flock::strict_lock(l, std::forward<F>(f));
     else
       return flock::try_lock(l, std::forward<F>(f));
+  }
+
+  // --- seqlock writer brackets -------------------------------------------
+  // The version bumps are raw fetch_adds and therefore NOT idempotent, so
+  // they must never execute inside a lock's thunk (helpers replay thunks;
+  // a replayed bump would tear the odd/even discipline). They bracket the
+  // acquire() call instead, which is safe because acquire() returns only
+  // AFTER the critical section has fully run (lock.hpp: every return true
+  // is preceded by run_and_unlock) — helper-completed stores all land
+  // while the version is odd. A bracket around a FAILED acquire is a
+  // harmless spurious +2 (still even, readers just retry/fall back). A
+  // writer killed between the brackets leaves the version odd forever:
+  // the bucket's fast path degrades to permanent fallback, correctness is
+  // untouched (the logged walk never looks at the version).
+  static void ver_begin(bucket* s) {
+    // Seqlock writer entry (Boehm): the fence orders the odd bump before
+    // every subsequent chain store, so a reader that observes any CS
+    // store and then re-reads the version through its acquire fence is
+    // guaranteed to see the odd value (or later) and discard its snapshot.
+    // mo: relaxed — the release fence below carries all the ordering.
+    s->version.fetch_add(1, std::memory_order_relaxed);
+    // mo: release fence — the seqlock writer-entry fence just described.
+    std::atomic_thread_fence(std::memory_order_release);
+    // Window: version odd, critical section not yet entered. Enumerable
+    // by the schedule explorer so torn-read candidates interleave here.
+    FLOCK_SCHEDPOINT("ht.ver.post_odd");
+  }
+  static void ver_end(bucket* s) {
+    // Window: critical section complete, version still odd. A kill here
+    // is the stuck-odd scenario: readers of this bucket fall back to the
+    // logged walk forever (perf loss only; see ver_begin).
+    FLOCK_FAULTPOINT("ht.ver.pre_even");
+    // mo: release — publishes the critical section's chain stores to the
+    // acquire load of this even value (seqlock writer exit); also what
+    // lets a single acquire reload validate a memoized read.
+    s->version.fetch_add(1, std::memory_order_release);
+  }
+
+  // --- optimistic read-path gate -----------------------------------------
+  // The seqlock snapshot copies k/v with relaxed atomic_ref loads (so the
+  // by-design race against node reuse is visible to the compiler and to
+  // TSan as an ATOMIC race, not UB) and discards the copy on version
+  // mismatch. That needs lock-free atomic_ref coverage of the payload;
+  // anything else takes the logged walk unconditionally.
+  template <class T>
+  static constexpr bool seqlock_copyable() {
+    if constexpr (std::is_trivially_copyable_v<T> && !std::is_const_v<T> &&
+                  !std::is_reference_v<T>) {
+      return std::atomic_ref<T>::is_always_lock_free &&
+             alignof(T) >= std::atomic_ref<T>::required_alignment;
+    } else {
+      return false;
+    }
+  }
+
+ public:
+  static constexpr bool kSeqlockReads =
+      seqlock_copyable<K>() && seqlock_copyable<V>();
+
+  /// Validation handle filled by a successful fast-path find: the bucket
+  /// version word the snapshot was validated against and the (even) value
+  /// it held. While the word still holds `snapshot` — and the caller can
+  /// prove the bucket array was never unprotected in between (see
+  /// flock::read_guard::gen) — the returned value is still current.
+  struct read_probe {
+    const std::atomic<uint64_t>* version = nullptr;
+    uint64_t snapshot = 0;
+  };
+
+ private:
+  /// Relaxed atomic copy of a possibly-racing node field (see the gate
+  /// comment above); the seqlock validation decides whether to keep it.
+  template <class T>
+  static T relaxed_copy(const T& field) {
+    // mo: relaxed — intentionally unordered snapshot load; the version
+    // re-read through the acquire fence supplies all needed ordering.
+    return std::atomic_ref<T>(const_cast<T&>(field))
+        .load(std::memory_order_relaxed);
   }
 
  public:
@@ -184,10 +290,128 @@ class hashtable {
   }
 
   std::optional<V> find(K k) {
+    read_probe probe;
+    return find(k, probe);
+  }
+
+  /// find with a validation handle: on a fast-path hit/miss, `probe` names
+  /// the bucket version word and snapshot the result was validated against
+  /// (the store tier's memo cache feeds on it). Fallback paths leave the
+  /// probe empty.
+  std::optional<V> find(K k, read_probe& probe) {
+    return find(k, probe, hash_of(k));
+  }
+
+  /// find with the key's hash precomputed. The store tier hashes once and
+  /// derives shard, memo-cache slot, AND bucket index from the same word
+  /// (disjoint bit ranges) — recomputing splitmix64 at every tier was a
+  /// measurable slice of the read path.
+  std::optional<V> find(K k, read_probe& probe, uint64_t h) {
+    if constexpr (kSeqlockReads) {
+      // The fast path walks raw pointers, so it needs epoch protection —
+      // bucket arrays of drained tables are truly freed (array_delete) on
+      // retire, unlike pool nodes. read_guard amortizes the announce over
+      // a batch of reads; the fallback's with_epoch nests under it for
+      // free.
+      flock::read_guard g;
+      V out{};
+      switch (find_fast(k, out, probe, h)) {
+        case kFastHit:
+          return out;
+        case kFastMiss:
+          return std::nullopt;
+        default:
+          break;  // contended / mid-migration / unbounded chain
+      }
+    }
+    return find_slow(k, h);
+  }
+
+  /// The pre-optimistic read path, kept publicly callable so benchmarks
+  /// can A/B the same lookups in one binary (bench/micro_flock.cpp
+  /// pr9_read_path): exactly the logged, epoch-guarded walk `find` always
+  /// used before the seqlock fast path existed.
+  std::optional<V> find_baseline(K k) { return find_slow(k); }
+
+ private:
+  // Fast-path outcomes: hit and miss are VALIDATED results; fallback means
+  // the snapshot could not be certified and the logged walk must decide.
+  static constexpr int kFastHit = 0;
+  static constexpr int kFastMiss = 1;
+  static constexpr int kFastFallback = 2;
+  // Bound on the unlogged walk: a snapshot that raced node recycling can
+  // in principle chase stale next pointers in a cycle; the bound turns
+  // that into a fallback instead of a hang. Generous — at load factor ~1
+  // a chain longer than this means the table is mid-ramp anyway.
+  static constexpr int kMaxFastWalk = 64;
+
+  /// Seqlock snapshot read (only instantiated when kSeqlockReads): load
+  /// version → raw walk → fence → re-load version. No logging, no lock
+  /// traffic, no epoch announce of its own (caller holds a read_guard).
+  int find_fast(K k, V& out, read_probe& probe, uint64_t h) {
+    const table* t = root_.read_raw();
+    bucket* s = &t->buckets[static_cast<std::size_t>(h) & t->mask];
+    // mo: acquire — seqlock v1: pairs with ver_end's release bump, so a
+    // snapshot taken at an even value sees every store of the critical
+    // section that published it (and of all earlier ones).
+    const uint64_t v1 = s->version.load(std::memory_order_acquire);
+    if ((v1 & 1) != 0) return kFastFallback;  // writer (or corpse) present
+    // Window: snapshot begun at an even version, chain loads not yet
+    // done. The schedule explorer preempts here to drive writers (version
+    // bumps, payload stores, migration forwards) under an in-flight
+    // snapshot — the torn-read candidates the validation must reject.
+    FLOCK_SCHEDPOINT("ht.read.post_v1");
+    if (s->removed.read_raw()) return kFastFallback;  // forwarded ⇒ migrate
+    node* cur = raw_next(s);
+    bool hit = false;
+    int steps = 0;
+    while (cur != nullptr) {
+      if (++steps > kMaxFastWalk) return kFastFallback;
+      const K ck = relaxed_copy(cur->k);
+      if (ck < k) {
+        cur = raw_next(cur);
+        continue;
+      }
+      if (ck == k && !cur->removed.read_raw()) {
+        out = relaxed_copy(cur->v);
+        hit = true;
+      }
+      break;  // first key >= k decides hit or miss
+    }
+    // Window: chain loads done, validation not yet performed — a writer
+    // scheduled here invalidates the snapshot and must force fallback.
+    FLOCK_SCHEDPOINT("ht.read.pre_validate");
+    // Seqlock validation (Boehm): if any load above observed a store made
+    // after a writer's entry fence, this fence forces the re-read below
+    // to see that writer's odd bump (or later) — snapshot discarded.
+    // mo: acquire fence — the seqlock reader-exit fence just described.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    // mo: relaxed — ordered entirely by the fence above.
+    if (s->version.load(std::memory_order_relaxed) != v1)
+      return kFastFallback;
+    probe.version = &s->version;
+    probe.snapshot = v1;
+    return hit ? kFastHit : kFastMiss;
+  }
+
+  /// Unlogged chain-pointer read for the fast path.
+  static node* raw_next(const chain_head* p) {
+    // mo: relaxed — snapshot traversal load; the seqlock validation (and
+    // the v1 acquire, for chains quiet since their publishing CS) orders
+    // it. Packed accessor: mutable_ has no relaxed value-typed read.
+    return flock::from_bits48<node*>(
+        flock::val_of(p->next.read_raw_packed_relaxed()));
+  }
+
+  /// The pre-existing epoch-guarded logged walk; the authority the fast
+  /// path defers to whenever it cannot certify a snapshot.
+  std::optional<V> find_slow(K k) { return find_slow(k, hash_of(k)); }
+
+  std::optional<V> find_slow(K k, uint64_t h) {
     return flock::with_epoch([&]() -> std::optional<V> {
       const table* t = root_.load();
       while (true) {
-        const bucket* s = &t->buckets[index_in(t, k)];
+        const bucket* s = &t->buckets[static_cast<std::size_t>(h) & t->mask];
         if (!s->removed.load()) {
           // Not forwarded when we looked. If a migration completes under
           // the scan the chain is left frozen (migration copies, never
@@ -207,6 +431,8 @@ class hashtable {
     });
   }
 
+ public:
+
   bool insert(K k, V v) {
     return flock::with_epoch([&] {
       while (true) {
@@ -218,14 +444,17 @@ class hashtable {
         // validation fails against the completed unlink and we retry.
         if (cur != nullptr && cur->k == k && !cur->removed.load())
           return false;
-        if (acquire(s->lck, [=] {
-              if (s->removed.load()) return false;  // forwarded meanwhile
-              if (prev != s && prev->removed.load()) return false;
-              if (prev->next.load() != cur) return false;
-              node* n = flock::allocate<node>(k, v, cur);
-              prev->next = n;
-              return true;
-            })) {
+        ver_begin(s);
+        const bool ok = acquire(s->lck, [=] {
+          if (s->removed.load()) return false;  // forwarded meanwhile
+          if (prev != s && prev->removed.load()) return false;
+          if (prev->next.load() != cur) return false;
+          node* n = flock::allocate<node>(k, v, cur);
+          prev->next = n;
+          return true;
+        });
+        ver_end(s);
+        if (ok) {
           note_update(+1);
           return true;
         }
@@ -239,16 +468,19 @@ class hashtable {
         bucket* s = locate_update(k);
         auto [prev, cur] = search_from(s, k);
         if (cur == nullptr || cur->k != k) return false;
-        if (acquire(s->lck, [=] {
-              if (s->removed.load()) return false;  // forwarded meanwhile
-              if (prev != s && prev->removed.load()) return false;
-              if (cur->removed.load()) return false;
-              if (prev->next.load() != cur) return false;
-              cur->removed = true;
-              prev->next = cur->next.load();
-              flock::retire<node>(cur);
-              return true;
-            })) {
+        ver_begin(s);
+        const bool ok = acquire(s->lck, [=] {
+          if (s->removed.load()) return false;  // forwarded meanwhile
+          if (prev != s && prev->removed.load()) return false;
+          if (cur->removed.load()) return false;
+          if (prev->next.load() != cur) return false;
+          cur->removed = true;
+          prev->next = cur->next.load();
+          flock::retire<node>(cur);
+          return true;
+        });
+        ver_end(s);
+        if (ok) {
           note_update(-1);
           return true;
         }
@@ -283,9 +515,11 @@ class hashtable {
   /// Resizes initiated since construction, by direction. Test support for
   /// hysteresis audits (a steady mid-band workload must not thrash).
   std::size_t grow_count() const {
+    // mo: relaxed — monotone stat counter; callers only need a value.
     return grows_.load(std::memory_order_relaxed);
   }
   std::size_t shrink_count() const {
+    // mo: relaxed — monotone stat counter; callers only need a value.
     return shrinks_.load(std::memory_order_relaxed);
   }
 
@@ -293,6 +527,7 @@ class hashtable {
   /// allocation failed (injected or real OOM); each deferral re-armed the
   /// trigger. See maybe_resize.
   std::size_t resize_deferrals() const {
+    // mo: relaxed — monotone stat counter; callers only need a value.
     return deferrals_.load(std::memory_order_relaxed);
   }
 
@@ -334,12 +569,16 @@ class hashtable {
       table* t = root_.read_raw();
       table* nt = t->next.read_raw();
       if (nt == nullptr) return false;  // no resize in flight
+      // mo: acquire (all four) — the audit compares progress counters
+      // across a window; acquire keeps each sample no older than the
+      // migration publications it summarizes.
       const std::size_t m0 = t->migrated.load(std::memory_order_acquire);
-      const std::size_t c0 = t->cursor.load(std::memory_order_acquire);
+      const std::size_t c0 = t->cursor.load(std::memory_order_acquire);  // mo: ditto
       const std::size_t f0 = forwarded_count(t);
       for (int i = 0; i < window_spins; i++) flock::detail::cpu_pause();
       if (root_.read_raw() != t || t->next.read_raw() != nt)
         return false;  // resize chain moved: progress
+      // mo: acquire — see the first sample above.
       return t->migrated.load(std::memory_order_acquire) == m0 &&
              t->cursor.load(std::memory_order_acquire) == c0 &&
              forwarded_count(t) == f0;
@@ -400,14 +639,18 @@ class hashtable {
     });
   }
 
+ public:
+  /// The key hash every tier derives from (bucket index = low bits; the
+  /// store tier's shard routing = top bits, memo-cache slot = middle
+  /// bits). Public so callers can hash once per operation.
+  static uint64_t hash_of(K k) {
+    return splitmix64(static_cast<uint64_t>(k));
+  }
+
  private:
   template <class K2, class V2, bool S2>
   friend bool try_move(hashtable<K2, V2, S2>&, hashtable<K2, V2, S2>&,
                        std::type_identity_t<K2>);
-
-  static uint64_t hash_of(K k) {
-    return splitmix64(static_cast<uint64_t>(k));
-  }
   static std::size_t index_in(const table* t, K k) {
     return static_cast<std::size_t>(hash_of(k)) & t->mask;
   }
@@ -438,9 +681,12 @@ class hashtable {
       return nullptr;
     }
     t->next.init(nullptr);
+    // mo: relaxed (all three) — pre-publication init; the edge that
+    // shares the table (root init or the next-pointer install CAS)
+    // releases.
     t->migrated.store(0, std::memory_order_relaxed);
-    t->cursor.store(0, std::memory_order_relaxed);
-    t->resize_hint.store(false, std::memory_order_relaxed);
+    t->cursor.store(0, std::memory_order_relaxed);        // mo: ditto
+    t->resize_hint.store(false, std::memory_order_relaxed);  // mo: ditto
     return t;
   }
 
@@ -450,6 +696,9 @@ class hashtable {
   }
 
   static void retire_table(table* t) {
+    // mo: seq_cst — the era bump must be ordered before the retire it
+    // announces (see g_table_retire_era); cold path, one resize per table.
+    g_table_retire_era.fetch_add(1, std::memory_order_seq_cst);
     flock::epoch_retire_array(t->buckets);
     flock::epoch_retire(t);
   }
@@ -526,6 +775,13 @@ class hashtable {
     bucket* lo = &nt->buckets[i];
     bucket* hi = &nt->buckets[i + t->nbuckets()];
     const uint64_t bit = t->nbuckets();  // hash bit the split keys on
+    // Seqlock bracket on the SOURCE bucket: the unit retires its nodes and
+    // sets its forwarded flag, either of which must invalidate snapshots
+    // and memoized reads of s. The successor buckets need no bracket here:
+    // they are unreachable by the optimistic path until the root swings,
+    // which happens-after every unit completed (migrated-counter acq_rel
+    // chain), and direct updates to them bracket normally.
+    ver_begin(s);
     bool did = acquire(s->lck, [=] {
       if (s->removed.load()) return false;  // lost the race
       // The chain is frozen: every update to this bucket takes this same
@@ -546,6 +802,7 @@ class hashtable {
       s->removed = true;  // forwarded: published after the copies are live
       return true;
     });
+    ver_end(s);
     finish_unit(t, did ? 1 : 0);
   }
 
@@ -574,6 +831,13 @@ class hashtable {
     // unit has no such window: its single flag is the thunk's last
     // store.)
     if (hi->removed.read_raw()) return;  // unit already migrated
+    // Seqlock brackets on BOTH source buckets (the merge retires nodes of
+    // each and forwards both); nesting order mirrors the lock nest. The
+    // destination bucket is pre-swing successor state — unreachable by the
+    // optimistic path — so its single-store publish needs no bracket (see
+    // migrate_unit_grow).
+    ver_begin(lo);
+    ver_begin(hi);
     bool did = acquire(lo->lck, [=] {
       if (lo->removed.load()) return false;  // lost the race
       return acquire(hi->lck, [=] {
@@ -615,6 +879,8 @@ class hashtable {
         return true;
       });
     });
+    ver_end(hi);
+    ver_end(lo);
     finish_unit(t, did ? 2 : 0);
   }
 
@@ -622,7 +888,13 @@ class hashtable {
   /// (all later critical sections fail the forwarded check), so counting
   /// the unit's forwarded buckets once keeps `migrated` exact.
   void finish_unit(table* t, std::size_t forwarded) {
+    // mo: acq_rel — release chains each unit's migration stores into the
+    // counter's release sequence; the completing reader (acquire load in
+    // help_resize / advance_root) then sees every unit's writes before
+    // swinging the root. Acquire orders this thread's own completion
+    // check against earlier contributions.
     if (forwarded != 0 &&
+        // mo: acq_rel — the release-sequence chaining just described.
         t->migrated.fetch_add(forwarded, std::memory_order_acq_rel) +
                 forwarded ==
             t->nbuckets())
@@ -636,10 +908,14 @@ class hashtable {
     const std::size_t n = t->nbuckets();
     const std::size_t units = unit_count(t, nt);
     for (int j = 0; j < kMigrateBatch; j++) {
+      // mo: acquire — completion read: pairs with finish_unit's acq_rel
+      // adds so a full count implies every unit's stores are visible.
       if (t->migrated.load(std::memory_order_acquire) >= n) {
         advance_root();  // idempotent; rescues a swing whose winner stalled
         return;
       }
+      // mo: relaxed — the cursor only distributes claims; migrate_unit
+      // revalidates everything under the bucket lock.
       std::size_t claimed = t->cursor.fetch_add(1, std::memory_order_relaxed);
       migrate_unit(t, nt, claimed & (units - 1));
       // Completion recovery: the fast-path `migrated` count is bumped by
@@ -653,6 +929,9 @@ class hashtable {
         for (std::size_t i = 0; i < n; i++)
           if (t->buckets[i].removed.read_raw()) fwd++;
         if (fwd == n) {
+          // mo: release — re-derived completion: publishes (transitively,
+          // via the acquire flag reads above) every unit's stores to the
+          // acquire completion reads, like finish_unit's adds would have.
           t->migrated.store(n, std::memory_order_release);
           advance_root();
         }
@@ -666,6 +945,7 @@ class hashtable {
     while (true) {
       uint64_t p = root_.read_raw_packed();
       table* r = flock::from_bits48<table*>(flock::val_of(p));
+      // mo: acquire — completion read before the swing; see help_resize.
       if (r->next.read_raw() == nullptr ||
           r->migrated.load(std::memory_order_acquire) < r->nbuckets())
         return;
@@ -718,6 +998,8 @@ class hashtable {
   /// tables).
   void note_update(int delta) {
     counter_shard& shard = count_[flock::thread_id() & (kCountShards - 1)];
+    // mo: relaxed (both) — sharded statistics: only the summed value
+    // matters, and the resize policy tolerates lag by design.
     shard.n.fetch_add(delta, std::memory_order_relaxed);
     if ((shard.ops.fetch_add(1, std::memory_order_relaxed) & 15) == 15)
       maybe_resize();
@@ -726,6 +1008,7 @@ class hashtable {
   long long approx_count() const {
     long long s = 0;
     for (const counter_shard& sh : count_)
+      // mo: relaxed — approximate by contract (see approx_size).
       s += sh.n.load(std::memory_order_relaxed);
     return s;
   }
@@ -751,6 +1034,8 @@ class hashtable {
     // allocating. The wait is bounded, so a stalled allocator cannot
     // wedge a resize — after it, the duplicate-and-discard race below is
     // still the lock-free fallback, just no longer the common case.
+    // mo: acq_rel — hint claim: release publishes this trigger's policy
+    // reads to the re-armer, acquire sees a previous claimant's re-arm.
     if (t->resize_hint.exchange(true, std::memory_order_acq_rel)) {
       for (int i = 0; i < 4096 && t->next.read_raw() == nullptr; i++)
         flock::detail::cpu_pause();
@@ -767,9 +1052,12 @@ class hashtable {
     if (!FLOCK_FAULTPOINT_ALLOC_FAIL("ht.resize.alloc")) [[likely]]
       nt = make_table(grow ? t->nbuckets() * 2 : t->nbuckets() / 2);
     if (nt == nullptr) [[unlikely]] {
+      // mo: relaxed (both) — monotone stat counters; value-only.
       deferrals_.fetch_add(1, std::memory_order_relaxed);
       flock::detail::g_resize_deferrals.fetch_add(1,
                                                   std::memory_order_relaxed);
+      // mo: release — re-arm: a later claimant's acquire exchange must see
+      // this deferral's bookkeeping before it retries the allocation.
       t->resize_hint.store(false, std::memory_order_release);  // re-arm
       return;
     }
@@ -777,6 +1065,7 @@ class hashtable {
     if (flock::val_of(p) != 0 || !t->next.cas_raw_packed(p, nt)) {
       free_table(nt);  // lost the install race; never published
     } else {
+      // mo: relaxed — monotone stat counter; value-only.
       (grow ? grows_ : shrinks_).fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -836,10 +1125,16 @@ bool try_move(hashtable<K, V, Strict>& from, hashtable<K, V, Strict>& to,
       return true;
     };
     bool ok;
+    // Seqlock brackets on both endpoint buckets (the splice mutates each
+    // side's chain); raw bumps outside the nest, like every other writer.
+    ht::ver_begin(fs);
+    ht::ver_begin(ts);
     if (reinterpret_cast<uintptr_t>(fs) < reinterpret_cast<uintptr_t>(ts))
       ok = ht::acquire(fs->lck, [=] { return ht::acquire(ts->lck, splice); });
     else
       ok = ht::acquire(ts->lck, [=] { return ht::acquire(fs->lck, splice); });
+    ht::ver_end(ts);
+    ht::ver_end(fs);
     if (ok) {
       from.note_update(-1);
       to.note_update(+1);

@@ -60,11 +60,24 @@ class epoch_manager {
     struct guard {
       detail::thread_context* c;
       ~guard() {
-        // mo: release — quiescing: every access this thread made to
-        // epoch-protected objects happens-before a collector's acquire
-        // read of -1 (min_announced), so nothing can be freed under us.
-        if (--c->epoch_depth == 0)
-          c->announced.store(-1, std::memory_order_release);
+        if (--c->epoch_depth == 0) {
+          // A thread in a read batch (read_guard ran, sticky flag armed)
+          // keeps its announcement across interleaved writes: quiescing
+          // here would lapse it, bump read_gen at the next read_guard,
+          // and wipe every memoized read the thread holds — a full
+          // store/read_cache.hpp flush per own write. Staying announced
+          // is the same hazard class as read_guard's own sticky exit
+          // (documented there): reclamation of objects retired after the
+          // announced epoch waits for this thread's next announce refresh,
+          // flush(), or exit — delayed, never unbounded while active.
+          // mo: relaxed — own flag, written only by this thread.
+          if (c->read_sticky.load(std::memory_order_relaxed) == 0) {
+            // mo: release — quiescing: every access this thread made to
+            // epoch-protected objects happens-before a collector's acquire
+            // read of -1 (min_announced), so nothing can be freed under us.
+            c->announced.store(-1, std::memory_order_release);
+          }
+        }
       }
     } g{c};
     return f();
@@ -137,8 +150,24 @@ class epoch_manager {
   /// quiescence (no concurrent operations in flight) to fully drain; safe
   /// to call concurrently only with other flush() calls being absent.
   void flush() {
-    for (int i = 0; i < 3; i++) try_advance();
     const int bound = thread_id_bound();
+    // Release sticky read announcements first (read_guard below): a thread
+    // whose last operation was a batched read still pins the epoch it
+    // announced, which would hold min_announced down and leave batches
+    // undrainable. flush() runs at quiescence by contract, so no reader is
+    // mid-batch and clearing the slots is safe; bumping read_gen makes the
+    // owners' memoized reads self-invalidate before the next dereference.
+    for (int i = 0; i < bound; i++) {
+      detail::thread_context* c = &detail::g_ctx[i];
+      // mo: relaxed — quiescence contract; no concurrent owner access.
+      if (c->read_sticky.exchange(0, std::memory_order_relaxed) != 0) {
+        // mo: release — mirrors the with_epoch quiesce store.
+        c->announced.store(-1, std::memory_order_release);
+        // mo: relaxed — see the sticky-clear comment above.
+        c->read_gen.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (int i = 0; i < 3; i++) try_advance();
     for (int i = 0; i < bound; i++) {
       detail::thread_context* c = &detail::g_ctx[i];
       if (c->open != nullptr && c->open->n > 0) seal(c);
@@ -148,12 +177,17 @@ class epoch_manager {
   }
 
  private:
+  friend class read_guard;
+
   /// Outermost announcement, with validation: re-announce until the
   /// global counter stops moving under us, so a collector that advanced
   /// the epoch concurrently cannot have missed this announcement while we
   /// go on to read shared state (this validation is what lets reclamation
   /// trust a cached minimum, see header comment).
   void announce(detail::thread_context* c) {
+    // mo: relaxed — own slot (this thread is the only writer); only the
+    // previous value is needed, to detect movement for read_gen below.
+    int64_t prev = c->announced.load(std::memory_order_relaxed);
     // mo: relaxed — just a first guess for the validation loop; the
     // seq_cst re-read below is what the protocol trusts.
     int64_t e = global_.load(std::memory_order_relaxed);
@@ -163,6 +197,16 @@ class epoch_manager {
       e = g;
       c->announced.store(e, std::memory_order_seq_cst);
     }
+    // Any movement of this thread's announced value — including a refresh
+    // from a sticky read announcement to a newer epoch — may unpin epochs
+    // that cached pointers (read_guard batches, store/read_cache.hpp) were
+    // captured under, so it invalidates this thread's read generation.
+    // When the global epoch is static (the common case) prev == e and the
+    // generation — and with it the thread's memoized reads — survives.
+    if (prev != e)
+      // mo: relaxed — owner-written, owner-read (the read cache lives in
+      // thread-local storage); no cross-thread ordering is carried.
+      c->read_gen.fetch_add(1, std::memory_order_relaxed);
   }
 
   detail::retire_batch* alloc_batch(detail::thread_context* c) {
@@ -295,6 +339,80 @@ inline constinit epoch_manager g_epoch{};
 inline epoch_manager& epoch_manager::instance() noexcept {
   return detail::g_epoch;
 }
+
+/// Lightweight epoch guard for read batches. ---------------------------------
+///
+/// with_epoch pays one seq_cst announce (store + validating re-read) per
+/// outermost entry and quiesces (-1) on exit. For a read-dominated caller
+/// issuing back-to-back finds, that announce is most of the cost of a hit.
+/// read_guard amortizes it:
+///
+///  * Nested under an active epoch region (epoch_depth > 0) it is free —
+///    the existing announcement already protects us.
+///  * At top level it checks whether the slot is still announced at the
+///    CURRENT global epoch (one relaxed load + one acquire load). If so,
+///    the announcement never lapsed since the previous read — no scanner
+///    can have missed it — and re-announcing is unnecessary. Only when the
+///    slot is empty (-1) or the global epoch moved does it pay the full
+///    validated announce.
+///  * On destruction it leaves the announcement in place ("sticky",
+///    flagged in the thread context) instead of quiescing, so the next
+///    read in the batch takes the cheap path. Any later with_epoch simply
+///    overwrites the slot; thread exit and epoch_manager::flush() clear it.
+///
+/// Caveat (by design, same hazard class as a parked reader pinning its
+/// epoch): a thread that goes idle right after a read batch keeps its last
+/// epoch announced until its next operation, its exit, or a flush(). That
+/// delays reclamation of objects retired after that epoch but can never
+/// unbound it while the thread keeps reading — each new batch refreshes
+/// the announcement to the current epoch.
+///
+/// gen() exposes the thread's read generation (see thread_context.hpp):
+/// a pointer captured under an earlier generation may dangle and must not
+/// be dereferenced once the generation moved. store/read_cache.hpp is the
+/// intended consumer.
+class read_guard {
+ public:
+  read_guard() : c_(detail::my_ctx()) {
+    if (c_->epoch_depth++ == 0) {
+      // mo: relaxed — own announcement slot; only the value is compared,
+      // the protocol-bearing store (if any) happens in announce().
+      int64_t a = c_->announced.load(std::memory_order_relaxed);
+      // mo: acquire — see current_epoch(); also keeps the comparison no
+      // staler than advances this thread already observed.
+      int64_t g = detail::g_epoch.global_.load(std::memory_order_acquire);
+      if (a != g) {
+        // Slot empty or the epoch moved: pay the validated announce (it
+        // bumps read_gen when the announced value actually changes).
+        detail::g_epoch.announce(c_);
+      }
+      // mo: relaxed — flag for flush()/thread-exit cleanup only; they run
+      // under the quiescence contract, not under this store's ordering.
+      c_->read_sticky.store(1, std::memory_order_relaxed);
+    }
+  }
+
+  read_guard(const read_guard&) = delete;
+  read_guard& operator=(const read_guard&) = delete;
+
+  ~read_guard() {
+    // Sticky exit: keep the announcement armed for the next read in the
+    // batch. with_epoch's own guard still quiesces normally when used.
+    --c_->epoch_depth;
+  }
+
+  /// The calling thread's read generation at guard scope. Equal values
+  /// across two guards certify the announcement never lapsed or moved in
+  /// between, i.e. epoch-protected pointers captured at the first guard
+  /// are still safe to dereference at the second.
+  uint64_t gen() const {
+    // mo: relaxed — owner-written, owner-read (see thread_context.hpp).
+    return c_->read_gen.load(std::memory_order_relaxed);
+  }
+
+ private:
+  detail::thread_context* c_;
+};
 
 /// Convenience wrappers used throughout the library. ------------------------
 

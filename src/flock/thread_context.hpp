@@ -82,6 +82,18 @@ struct alignas(2 * kCacheLine) thread_context {
   std::atomic<uint64_t> ann_packed{0};        //   (tagged.hpp)
   int epoch_depth = 0;  // with_epoch nesting; owner-only
 
+  // --- read_guard state (epoch.hpp): a read batch leaves the announcement
+  // slot armed ("sticky") between reads so consecutive finds skip the
+  // seq_cst announce. `read_gen` counts every change of this thread's
+  // announced *value* (bumped in announce()); a cached pointer is only
+  // dereferenceable while the generation it was captured under is still
+  // current, because any announcement movement may have unpinned epochs
+  // the pointer's referent was retired in (store/read_cache.hpp builds on
+  // exactly this). Owner-written; flush() touches them only under its
+  // quiescence contract.
+  std::atomic<uint64_t> read_gen{0};
+  std::atomic<uint8_t> read_sticky{0};
+
   // --- cold: epoch-retire backlog (owner-only; flush() requires
   // quiescence, same contract as the old per-id retire lists) -------------
   retire_batch* open = nullptr;         // partially filled batch
@@ -181,6 +193,7 @@ inline thread_local thread_context* tl_ctx = nullptr;
       // itself synchronizes through the allocator mutex.
       c->announced.store(-1, std::memory_order_relaxed);
       c->ann_loc.store(nullptr, std::memory_order_relaxed);  // mo: ditto
+      c->read_sticky.store(0, std::memory_order_relaxed);    // mo: ditto
 #ifdef FLOCK_DEBUG_API
       c->dbg_run_depth = 0;
       c->dbg_held = 0;
@@ -198,6 +211,19 @@ inline thread_local thread_context* tl_ctx = nullptr;
       }
 #endif
       tl_ctx = nullptr;
+      // A read batch may have left the announcement sticky (read_guard,
+      // epoch.hpp); clear it so the slot is handed back quiescent — a
+      // dead thread must not pin the epoch for the rest of the process.
+      // mo: relaxed — own flag; the id hand-off synchronizes via the
+      // allocator mutex, and the announced store below carries release.
+      if (c->read_sticky.exchange(0, std::memory_order_relaxed) != 0) {
+        // mo: release — the next owner's (mutex-synchronized) scan and any
+        // collector must see this thread's protected accesses as finished.
+        c->announced.store(-1, std::memory_order_release);
+        // mo: relaxed — owner-side invalidation marker; the thread (and
+        // its thread-local read cache) is gone anyway.
+        c->read_gen.fetch_add(1, std::memory_order_relaxed);
+      }
       id_allocator::instance().release(c->id);
     }
   };

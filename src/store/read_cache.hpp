@@ -1,0 +1,243 @@
+// read_cache.hpp — per-thread memoized-read cache for hot keys, validated
+// by bucket version words (the store-tier consumer of the hashtable's
+// optimistic read path).
+//
+// A zipf-shaped read-mostly workload spends most of its finds on a few
+// keys. The hashtable fast path already makes those wait-free-ish, but
+// still pays hash + chain walk + seqlock validation per call. This cache
+// memoizes the RESULT of a validated fast-path find — (key, presence,
+// value, bucket version word, snapshot) — and revalidates it with a single
+// acquire load of the version word: if the word still holds the snapshot,
+// no writer critical section has touched that bucket since the value was
+// read, so the result is still current. Absent results are memoized too:
+// a validated miss proves the key was not in the bucket at snapshot time,
+// and any insert to that bucket bumps the version, so an unchanged word
+// certifies continued absence exactly as it certifies an unchanged value.
+// (Under a zipf read mix roughly half the hot draws are absent keys;
+// caching only hits would leave that mass paying the probe for nothing.)
+// Writers invalidate for free: every mutation of a bucket bumps its
+// version (hashtable.hpp ver_begin/ver_end), including the migration
+// engine's copy/forward/merge units, so a stale entry simply fails its
+// next validation. No write-side hook, no cross-thread cache traffic —
+// the cache is thread-local and entries are only ever touched by their
+// owner.
+//
+// Safety of the dereference (the version word lives inside a bucket array
+// that a resize can retire): an entry may only be validated while the
+// reader can prove the array is still allocated. The proof is the
+// process-wide bucket-array retirement era (ds/hashtable.hpp
+// g_table_retire_era) plus the caller's armed epoch announcement:
+//
+//  1. A validated read_probe certifies its bucket was root-table and
+//     unforwarded as of the probe's closing version load (forwarding
+//     bumps the version, so a forward inside the snapshot window fails
+//     validation) — and a table is only retired after every bucket is
+//     forwarded, so the array's retirement, if it ever comes, strictly
+//     follows the capture.
+//  2. Entries stamp the era loaded UNDER THE GUARD, BEFORE the probe was
+//     taken. Any later retirement of that array bumps the era past the
+//     stamp, so "era unchanged at validation time" means the array was
+//     never handed to the epoch reclaimer at all.
+//  3. A retirement racing the validation itself is pinned out: it happens
+//     at an epoch no older than the validating thread's armed
+//     announcement (read_guard keeps it armed across the whole find), so
+//     its free cannot run until the reader lets go.
+//
+// An earlier design validated against flock::read_guard::gen() — "drop
+// the entry whenever the thread's announcement moved". That is sound but
+// brutally conservative: every epoch advance (i.e., ordinary update
+// churn) wiped the whole cache, which under a 95/5 mix meant a full
+// flush every few dozen operations. The era check invalidates on actual
+// resizes only.
+//
+// Owner identity: entries also record a process-unique id of the owning
+// store (not its address — a destroyed store's address can be recycled,
+// and a recycled address plus a surviving generation could otherwise
+// validate a dangling version pointer). Ids are never reused, so an entry
+// can only match the store that created it, which is alive by virtue of
+// being the caller.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "ds/hashtable.hpp"
+#include "flock/flock.hpp"
+
+namespace flock_store {
+
+/// Process-unique store id (monotone, never recycled).
+inline uint64_t next_store_id() {
+  static std::atomic<uint64_t> n{0};
+  // mo: relaxed — unique-id ticket; only distinctness matters.
+  return n.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+template <class K, class V>
+class read_cache {
+ public:
+  // Sized for a few-thousand-key hot set, not for L1: the cache only pays
+  // off when the working set is already cache-resident (a DRAM-tail find
+  // costs ~20x a memoized hit, but the tail by definition never hits), so
+  // the regime that matters is "store hot set fits in cache" — and there
+  // the slot table should cover most of that hot set. 4096 slots is
+  // ~230KB/thread for 8-byte K/V (L2-resident); sampled admission keeps
+  // tail draws from paying a cold fill-store on the extra lines. Measured
+  // on the zipf(0.99) 16K-key regime: 62% hit rate, ~1.3-1.4x over the
+  // uncached fast path; 64 slots managed only ~25% hits and broke even.
+#ifndef FLOCK_READCACHE_SLOTS
+#define FLOCK_READCACHE_SLOTS 4096
+#endif
+  static constexpr std::size_t kSlots = FLOCK_READCACHE_SLOTS;
+  // Hit-earned eviction credit cap: high enough that a hot key survives
+  // the tail draws between its own draws, low enough that a key that went
+  // cold drains in a few fills and frees the slot.
+  static constexpr uint8_t kCreditMax = 3;
+  // One miss in kFillPeriod gets to contend for an occupied slot (see
+  // fill); power of two.
+  static constexpr uint32_t kFillPeriod = 8;
+
+  // Line-aligned: sizeof(entry) is 56 for 8-byte K/V, and an unaligned
+  // array would straddle 7 of every 8 slots across two cache lines —
+  // doubling the memory traffic of exactly the hot-hit path the cache
+  // exists to shorten.
+  struct alignas(64) entry {
+    uint64_t owner = 0;     // store id; 0 = empty
+    uint64_t era = 0;       // bucket-array retirement era at capture
+    uint64_t snapshot = 0;  // even version value the read validated against
+    const std::atomic<uint64_t>* version = nullptr;  // bucket version word
+    K key{};
+    V value{};              // meaningful only when present
+    bool present = false;   // validated hit vs validated absence
+    uint8_t credit = 0;     // second-chance eviction protection (see fill)
+  };
+
+  struct stats {
+    uint64_t hits = 0;         // validated returns (present or absent)
+    uint64_t misses = 0;       // empty/other-key/other-store slots
+    uint64_t invalidated = 0;  // version or retirement-era mismatches
+    uint64_t fills = 0;        // entries (re)captured
+    uint64_t denied = 0;       // fills rejected by an incumbent's credit
+  };
+
+  /// The slot a (store, key-hash) pair maps to. `h` is the key's
+  /// hashtable::hash_of word, computed ONCE per find by the store tier and
+  /// shared with shard routing (top bits) and bucket indexing (low bits);
+  /// the slot takes middle bits so the three decisions stay independent.
+  /// Callers hand the same entry to lookup and fill — the fill after a
+  /// cache miss must not pay a second index computation on the hot path.
+  /// XORing the store id in keeps two stores' hot keys from
+  /// systematically colliding on the same slots (a collision is only ever
+  /// a perf event — lookup still compares owner and key exactly).
+  entry& slot_for(uint64_t owner, uint64_t h) {
+    return slots_[static_cast<std::size_t>((h >> 24) ^ owner) & (kSlots - 1)];
+  }
+
+  /// Validated lookup. Returns the entry iff it holds this (store, key),
+  /// no bucket array was retired since capture (`era` — the caller loads
+  /// g_table_retire_era under its armed read_guard and passes it in), and
+  /// the bucket version word still holds the captured snapshot; the
+  /// caller reads present/value from it. Must be called under a
+  /// read_guard (the armed announcement keeps a racing retirement's free
+  /// blocked across the version dereference; see the header comment).
+  const entry* lookup(entry& e, uint64_t owner, K k, uint64_t era) {
+    if (e.owner != owner || !(e.key == k)) {
+      stats_.misses++;
+      return nullptr;
+    }
+    if (e.era != era) {
+      // Some bucket array somewhere was retired since capture: this
+      // entry's version pointer may dangle and must not be dereferenced.
+      // Invalidation is NOT eviction: the entry stays resident (stale —
+      // it can never validate again, eras are monotonic) so the fallback
+      // find's refill is a same-key refresh that keeps the slot's credit;
+      // zeroing it here would hand a hot key's slot to the tail and make
+      // it re-earn admission after every resize or bucket write.
+      stats_.invalidated++;
+      return nullptr;
+    }
+    // mo: acquire — single-load validation: pairs with ver_end's release
+    // bump, so an unchanged snapshot proves no critical section completed
+    // on the bucket since capture (and an in-flight writer shows as odd).
+    if (e.version->load(std::memory_order_acquire) != e.snapshot) {
+      // A writer critical section touched the bucket. Stale, not evicted
+      // (version words only grow — this snapshot can never match again);
+      // see the era branch above for why the entry keeps its slot.
+      stats_.invalidated++;
+      return nullptr;
+    }
+    stats_.hits++;
+    // A validated hit is proof of heat: arm the slot against eviction by
+    // colder keys (see fill's second-chance gate).
+    if (e.credit < kCreditMax) e.credit++;
+    return &e;
+  }
+
+  /// Capture a validated fast-path result (hashtable read_probe) under the
+  /// same read_guard the probe was produced under. `era` MUST be the
+  /// g_table_retire_era value loaded after that guard armed and BEFORE the
+  /// probe was taken — stamping a later era would let a retirement slip
+  /// between capture and stamp undetected (step 2 of the header argument).
+  /// `r` may be empty — a validated miss memoizes absence.
+  ///
+  /// Admission control, two gates (both only for a DIFFERENT key over a
+  /// live incumbent — a same-key refresh or an empty slot always installs):
+  ///
+  ///  * Sampled admission: only one miss in kFillPeriod may even contend
+  ///    for an occupied slot. Under a zipf read mix the table sees one
+  ///    fill attempt per cache miss; unsampled, the long tail rewrites
+  ///    every slot every few draws and no hot entry survives long enough
+  ///    to be hit again (measured: hit rate collapses to ~16%, and the
+  ///    fill's stores were the single largest read-path tax). A hot key
+  ///    is drawn often, so it still wins a ticket within a few of its own
+  ///    draws; a tail key almost never does.
+  ///  * Second chance: an incumbent that has proven itself with validated
+  ///    hits carries credit; an admitted challenger spends one credit
+  ///    instead of replacing, so only keys drawn more often than the
+  ///    (sampled) challenger traffic through their slot can hold it —
+  ///    exactly the hot set.
+  void fill(entry& e, uint64_t owner, K k, const std::optional<V>& r,
+            const std::atomic<uint64_t>* version, uint64_t snapshot,
+            uint64_t era) {
+    const bool same = e.owner == owner && e.key == k;
+    if (!same && e.owner != 0) {
+      if ((++tick_ & (kFillPeriod - 1)) != 0 || e.credit > 0) {
+        if (e.credit > 0 && (tick_ & (kFillPeriod - 1)) == 0) e.credit--;
+        stats_.denied++;
+        return;
+      }
+    }
+    e.owner = owner;
+    e.era = era;
+    e.snapshot = snapshot;
+    e.version = version;
+    e.key = k;
+    e.present = r.has_value();
+    if (r.has_value()) e.value = *r;
+    if (!same) e.credit = 0;  // a newcomer earns protection via hits
+    stats_.fills++;
+  }
+
+  void clear() {
+    for (entry& e : slots_) e.owner = 0;
+  }
+
+  const stats& counters() const { return stats_; }
+
+ private:
+  entry slots_[kSlots];
+  uint32_t tick_ = 0;  // sampled-admission ticket counter
+  stats stats_;
+};
+
+/// The per-thread cache instance, shared by every store of this K/V shape
+/// (entries disambiguate by store id).
+template <class K, class V>
+inline read_cache<K, V>& tls_read_cache() {
+  thread_local read_cache<K, V> c;
+  return c;
+}
+
+}  // namespace flock_store

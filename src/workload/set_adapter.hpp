@@ -72,6 +72,16 @@ class hashed_adapter {
   bool remove(uint64_t k) { return ds_.remove(splitmix64(k)); }
   std::optional<uint64_t> find(uint64_t k) { return ds_.find(splitmix64(k)); }
   std::size_t size() const { return ds_.size(); }
+  /// Same dispatch as set_adapter::approx_size: route to the structure's
+  /// sharded occupancy counters when it has them instead of falling back
+  /// to an exact O(n) scan (key hashing is irrelevant to a population
+  /// count, so the pass-through is sound here too).
+  std::size_t approx_size() const {
+    if constexpr (requires(const DS& d) { d.approx_size(); })
+      return ds_.approx_size();
+    else
+      return ds_.size();
+  }
   bool check_invariants() const { return ds_.check_invariants(); }
   DS& underlying() { return ds_; }
 

@@ -30,6 +30,7 @@
 #include "chaos/schedule_test.hpp"
 #include "ds/hashtable.hpp"
 #include "flock/flock.hpp"
+#include "store/sharded_map.hpp"
 
 namespace {
 
@@ -609,6 +610,330 @@ TEST_F(ScheduleTest, SeededWalkSweepOverGrowScenario) {
     if (::testing::Test::HasFailure()) {
       ADD_FAILURE() << "failing walk seed " << s << " schedule "
                     << rep.schedule_string();
+      return;
+    }
+  }
+}
+
+// --- scenario: optimistic validated reads (seqlock + memo cache) ------------
+//
+// The PR-9 read path added reader-side windows (ht.read.post_v1 /
+// ht.read.pre_validate: snapshot begun / loads done but unvalidated) and
+// writer-side windows (ht.ver.post_odd / ht.ver.pre_even: version odd
+// before and after the critical section). These scenarios enumerate a
+// validated reader against a writer replacing the same key's payload
+// (remove + re-insert — the write API's payload mutation) and against the
+// migration engine's forwards, in BOTH lock modes, asserting on every
+// schedule that a read returns only a linearizable value — the old
+// payload, the new payload, or a miss while the key is legally absent —
+// never a torn or resurrected one.
+struct vread_state {
+  std::unique_ptr<flock_ds::hashtable<long, long>> ht;
+  std::optional<long> r1, r2;
+};
+
+std::string opt_str(const std::optional<long>& r) {
+  return r.has_value() ? std::to_string(*r) : std::string("miss");
+}
+
+sched::scenario make_validated_read_scenario(bool blocking,
+                                             std::shared_ptr<vread_state> st,
+                                             const char* name) {
+  static_assert(flock_ds::hashtable<long, long>::kSeqlockReads,
+                "long/long payloads must take the seqlock fast path");
+  sched::scenario sc;
+  sc.name = name;
+  sc.setup = [st, blocking] {
+    flock::set_blocking(blocking);
+    flock::set_ccas(true);
+    st->r1.reset();
+    st->r2.reset();
+    // 8 keys in a 64-bucket table: far below the grow threshold, so the
+    // only version traffic is the writer thread's.
+    st->ht = std::make_unique<flock_ds::hashtable<long, long>>(64);
+    for (long k = 1; k <= 8; k++) st->ht->insert(k, k * 100);
+  };
+  // Writer: replace key 5's payload. Between its two ops the key is
+  // legally absent; each op brackets the bucket with version bumps.
+  sc.threads.push_back([st] {
+    EXPECT_TRUE(st->ht->remove(5));
+    EXPECT_TRUE(st->ht->insert(5, 501));
+  });
+  // Reader: two validated reads of the contended key, then one of an
+  // undisturbed sibling (same table, different bucket — never invalidated).
+  sc.threads.push_back([st] {
+    st->r1 = st->ht->find(5);
+    st->r2 = st->ht->find(5);
+    EXPECT_EQ(st->ht->find(6), std::optional<long>(600));
+  });
+  sc.on_final = [st](const sched::run_report& rep) {
+    auto legal = [](const std::optional<long>& r) {
+      return !r.has_value() || *r == 500 || *r == 501;
+    };
+    EXPECT_TRUE(legal(st->r1))
+        << "r1=" << opt_str(st->r1) << " " << rep.schedule_string();
+    EXPECT_TRUE(legal(st->r2))
+        << "r2=" << opt_str(st->r2) << " " << rep.schedule_string();
+    // Program-order monotonicity through remove -> insert(501): once a
+    // read observed the new payload the writer is fully linearized, so a
+    // later read may not travel back; once a read observed the remove,
+    // the old payload may never reappear.
+    if (st->r1 == std::optional<long>(501)) {
+      EXPECT_EQ(st->r2, std::optional<long>(501)) << rep.schedule_string();
+    }
+    if (st->r1.has_value() && !st->r2.has_value()) {
+      EXPECT_EQ(*st->r1, 500L) << rep.schedule_string();
+    }
+    if (!st->r1.has_value()) {
+      EXPECT_NE(st->r2, std::optional<long>(500)) << rep.schedule_string();
+    }
+    // Exact final state.
+    EXPECT_EQ(st->ht->find(5), std::optional<long>(501))
+        << rep.schedule_string();
+    EXPECT_EQ(st->ht->size(), 8u) << rep.schedule_string();
+    EXPECT_TRUE(st->ht->check_invariants()) << rep.schedule_string();
+    st->ht.reset();
+  };
+  sc.fingerprint = [st] { return opt_str(st->r1) + "/" + opt_str(st->r2); };
+  return sc;
+}
+
+sched::run_options vread_filter() {
+  sched::run_options o;
+  // Only the new read/version windows: the lock protocol's own schedule
+  // space is covered exhaustively by the trylock scenarios.
+  o.point_prefixes = {"ht.read.", "ht.ver."};
+  return o;
+}
+
+TEST_F(ScheduleTest, ValidatedReadVsPayloadWriteExhaustiveBothModes) {
+  for (bool blocking : {false, true}) {
+    auto st = std::make_shared<vread_state>();
+    sched::scenario sc = make_validated_read_scenario(
+        blocking, st,
+        blocking ? "vread_write_blocking" : "vread_write_lockfree");
+    sched::explore_options o;
+    o.preemption_bound = 2;
+    o.run = vread_filter();
+    o.failure_check = test_failed;
+    sched::explore_stats stats = sched::explore(sc, o);
+    EXPECT_FALSE(stats.truncated) << sc.name;
+    EXPECT_FALSE(stats.nondeterminism) << sc.name;
+    EXPECT_GE(stats.schedules_at_max_bound, 25u) << sc.name;
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing schedule in " << sc.name << ": "
+                    << stats.failure_schedule;
+      return;
+    }
+  }
+}
+
+// Kills composed with the read/version windows. The interesting victim is
+// a writer dead at ht.ver.post_odd: the bucket's version is odd forever
+// (until revival), so every fast-path read of that bucket must fall back
+// to the logged walk — and still return only linearizable values. Reader
+// kills check the other direction: a dead reader's revived replay is
+// harmless. Assertions are identical; revival drains the victim before
+// on_final, so the exact final state must also converge.
+TEST_F(ScheduleTest, ValidatedReadStuckOddVersionWithKills) {
+  for (bool blocking : {false, true}) {
+    auto st = std::make_shared<vread_state>();
+    sched::scenario sc = make_validated_read_scenario(
+        blocking, st,
+        blocking ? "vread_kills_blocking" : "vread_kills_lockfree");
+    sched::explore_options o;
+    o.preemption_bound = 1;
+    o.kill_bound = 1;
+    o.run = vread_filter();
+    o.failure_check = test_failed;
+    sched::explore_stats stats = sched::explore(sc, o);
+    EXPECT_FALSE(stats.truncated) << sc.name;
+    EXPECT_FALSE(stats.nondeterminism) << sc.name;
+    EXPECT_GE(stats.schedules_at_max_bound, 50u) << sc.name;
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing schedule in " << sc.name << ": "
+                    << stats.failure_schedule;
+      return;
+    }
+  }
+}
+
+// --- scenario: validated read vs migration forward ---------------------------
+//
+// A reader races the migration engine: the 64->128 grow is pre-installed
+// (as in the grow scenarios) and the writer's insert migrates units,
+// forwarding source buckets. The contended read targets key 55, resident
+// since before the resize: the fast path must either snapshot it from a
+// still-live source bucket (version even, not forwarded) or detect the
+// forward/bump and fall back — in EVERY interleaving of the reader's
+// windows with copy publication and forwarded-flag publication, find(55)
+// returns exactly 55.
+struct vread_mig_state {
+  std::unique_ptr<flock_ds::hashtable<long, long>> ht;
+  std::optional<long> r1, r2;
+};
+
+sched::scenario make_vread_migration_scenario(
+    bool blocking, std::shared_ptr<vread_mig_state> st, const char* name) {
+  sched::scenario sc;
+  sc.name = name;
+  sc.setup = [st, blocking] {
+    flock::set_blocking(blocking);
+    flock::set_ccas(true);
+    st->r1.reset();
+    st->r2.reset();
+    st->ht = std::make_unique<flock_ds::hashtable<long, long>>(64);
+    for (long k = 0; k < 64; k++) st->ht->insert(k, k);
+    ASSERT_EQ(st->ht->bucket_count(), 128u);  // successor installed
+  };
+  sc.threads.push_back([st] {
+    // Drives the migration: own unit plus a claimed batch, each unit
+    // bracketed by source-bucket version bumps and ending in forwarded
+    // write_once flags.
+    EXPECT_TRUE(st->ht->insert(1000, 1));
+  });
+  sc.threads.push_back([st] {
+    st->r1 = st->ht->find(55);
+    st->r2 = st->ht->find(55);
+  });
+  sc.on_final = [st](const sched::run_report& rep) {
+    EXPECT_EQ(st->r1, std::optional<long>(55)) << rep.schedule_string();
+    EXPECT_EQ(st->r2, std::optional<long>(55)) << rep.schedule_string();
+    // Drain the in-flight migration, then exact final state (the churn
+    // pairs cannot re-trigger the policy: 96 < 128).
+    const long scratch = 1 << 20;
+    for (int i = 0; i < 64; i++) {
+      st->ht->insert(scratch, i);
+      st->ht->remove(scratch);
+    }
+    EXPECT_EQ(st->ht->bucket_count(), 128u) << rep.schedule_string();
+    EXPECT_EQ(st->ht->size(), 65u) << rep.schedule_string();
+    for (long k = 0; k < 64; k++)
+      EXPECT_EQ(st->ht->find(k), std::optional<long>(k))
+          << rep.schedule_string();
+    EXPECT_EQ(st->ht->find(1000), std::optional<long>(1));
+    EXPECT_TRUE(st->ht->check_invariants(/*audit_migration=*/true))
+        << rep.schedule_string();
+    st->ht.reset();
+  };
+  sc.fingerprint = [st] {
+    return std::to_string(st->ht->size()) + "/" + opt_str(st->r1) + "/" +
+           opt_str(st->r2);
+  };
+  return sc;
+}
+
+TEST_F(ScheduleTest, ValidatedReadVsMigrationForwardExhaustiveBothModes) {
+  for (bool blocking : {false, true}) {
+    auto st = std::make_shared<vread_mig_state>();
+    sched::scenario sc = make_vread_migration_scenario(
+        blocking, st,
+        blocking ? "vread_migration_blocking" : "vread_migration_lockfree");
+    sched::explore_options o;
+    o.preemption_bound = 1;
+    sched::run_options ro;
+    // Reader windows vs. the migration's publication points: version
+    // brackets, split-copy publication, forwarded write_once flags.
+    ro.point_prefixes = {"ht.read.", "ht.ver.", "ht.grow.", "wo.publish"};
+    o.run = ro;
+    o.failure_check = test_failed;
+    sched::explore_stats stats = sched::explore(sc, o);
+    EXPECT_FALSE(stats.truncated) << sc.name;
+    EXPECT_FALSE(stats.nondeterminism) << sc.name;
+    EXPECT_GE(stats.schedules_at_max_bound, 10u) << sc.name;
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing schedule in " << sc.name << ": "
+                    << stats.failure_schedule;
+      return;
+    }
+  }
+}
+
+// --- scenario: the store-tier memo cache under writer invalidation -----------
+//
+// The sharded_map read path consults the per-thread memoized-read cache
+// before touching the table. The reader's first find fills its cache; the
+// later finds may be served FROM the cache, so the property under test is
+// the invalidation protocol itself: a memoized value may only be returned
+// while the bucket version word still holds the captured snapshot, so a
+// cache hit must never travel backwards past a writer the fallback path
+// already observed. Monotonicity across r1..r3 is asserted on every
+// schedule in both lock modes.
+struct cache_state {
+  std::unique_ptr<flock_store::sharded_map<long, long, false>> sm;
+  std::optional<long> r1, r2, r3;
+};
+
+sched::scenario make_cache_scenario(bool blocking,
+                                    std::shared_ptr<cache_state> st,
+                                    const char* name) {
+  sched::scenario sc;
+  sc.name = name;
+  sc.setup = [st, blocking] {
+    flock::set_blocking(blocking);
+    flock::set_ccas(true);
+    st->r1.reset();
+    st->r2.reset();
+    st->r3.reset();
+    st->sm = std::make_unique<flock_store::sharded_map<long, long, false>>(
+        /*shards=*/1, /*size_hint=*/64);
+    st->sm->insert(5, 500);
+    st->sm->insert(6, 600);
+  };
+  sc.threads.push_back([st] {
+    EXPECT_TRUE(st->sm->remove(5));
+    EXPECT_TRUE(st->sm->insert(5, 501));
+  });
+  sc.threads.push_back([st] {
+    st->r1 = st->sm->find(5);  // fills this thread's cache on a hit
+    st->r2 = st->sm->find(5);  // may be served from the cache
+    st->r3 = st->sm->find(5);
+    EXPECT_EQ(st->sm->find(6), std::optional<long>(600));
+  });
+  sc.on_final = [st](const sched::run_report& rep) {
+    const std::optional<long>* rs[3] = {&st->r1, &st->r2, &st->r3};
+    int seen = 0;  // 0: old state legal, 1: miss seen, 2: new value seen
+    for (const auto* r : rs) {
+      EXPECT_TRUE(!r->has_value() || **r == 500 || **r == 501)
+          << opt_str(*r) << " " << rep.schedule_string();
+      // Writer program order is 500 -> miss -> 501; reads of one thread
+      // may only move forward through it. A stale cache hit after the
+      // fallback path saw a later state would break exactly this.
+      int stage = !r->has_value() ? 1 : (**r == 501 ? 2 : 0);
+      EXPECT_GE(stage, seen) << "non-monotone reads: " << opt_str(st->r1)
+                             << "," << opt_str(st->r2) << ","
+                             << opt_str(st->r3) << " "
+                             << rep.schedule_string();
+      seen = stage > seen ? stage : seen;
+    }
+    EXPECT_EQ(st->sm->find(5), std::optional<long>(501))
+        << rep.schedule_string();
+    EXPECT_EQ(st->sm->size(), 2u) << rep.schedule_string();
+    EXPECT_TRUE(st->sm->check_invariants()) << rep.schedule_string();
+    st->sm.reset();
+  };
+  sc.fingerprint = [st] {
+    return opt_str(st->r1) + "/" + opt_str(st->r2) + "/" + opt_str(st->r3);
+  };
+  return sc;
+}
+
+TEST_F(ScheduleTest, MemoCacheInvalidationExhaustiveBothModes) {
+  for (bool blocking : {false, true}) {
+    auto st = std::make_shared<cache_state>();
+    sched::scenario sc = make_cache_scenario(
+        blocking, st, blocking ? "memo_cache_blocking" : "memo_cache_lockfree");
+    sched::explore_options o;
+    o.preemption_bound = 2;
+    o.run = vread_filter();
+    o.failure_check = test_failed;
+    sched::explore_stats stats = sched::explore(sc, o);
+    EXPECT_FALSE(stats.truncated) << sc.name;
+    EXPECT_FALSE(stats.nondeterminism) << sc.name;
+    EXPECT_GE(stats.schedules_at_max_bound, 25u) << sc.name;
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing schedule in " << sc.name << ": "
+                    << stats.failure_schedule;
       return;
     }
   }

@@ -235,6 +235,66 @@ TEST_P(ShardedMapTest, MixedWorkloadThroughTheAdapter) {
   EXPECT_EQ(s.approx_size(), s.size());
 }
 
+// --- the memoized-read cache (store/read_cache.hpp) -------------------------
+
+// Deterministic counter accounting on a fresh thread (thread-local cache,
+// so a new std::thread starts with exact-zero deltas). Covers the fill ->
+// hit -> invalidate lifecycle through the public find path, both
+// invalidation reasons, and cross-store isolation.
+TEST_P(ShardedMapTest, MemoCacheFillsHitsAndInvalidates) {
+  std::thread([] {
+    using cache_t = flock_store::read_cache<uint64_t, uint64_t>;
+    auto& cache = flock_store::tls_read_cache<uint64_t, uint64_t>();
+    map_try m(1);
+    ASSERT_TRUE(m.insert(7, 70));
+
+    cache_t::stats s0 = cache.counters();
+    EXPECT_EQ(m.find(7), std::optional<uint64_t>(70));  // miss, then fill
+    cache_t::stats s1 = cache.counters();
+    EXPECT_EQ(s1.fills, s0.fills + 1);
+    EXPECT_EQ(s1.hits, s0.hits);
+
+    // No writes in between, announcement sticky: a pure cache hit.
+    EXPECT_EQ(m.find(7), std::optional<uint64_t>(70));
+    cache_t::stats s2 = cache.counters();
+    EXPECT_EQ(s2.hits, s1.hits + 1);
+    EXPECT_EQ(s2.fills, s1.fills);
+
+    // A writer on ANOTHER thread bumps the bucket version but leaves this
+    // thread's announcement (and so its read generation) untouched: the
+    // next lookup must fail the single-load version validation, fall back,
+    // and recapture the new value.
+    std::thread([&m] {
+      ASSERT_TRUE(m.remove(7));
+      ASSERT_TRUE(m.insert(7, 71));
+    }).join();
+    EXPECT_EQ(m.find(7), std::optional<uint64_t>(71));
+    cache_t::stats s3 = cache.counters();
+    EXPECT_EQ(s3.invalidated, s2.invalidated + 1);
+    EXPECT_EQ(s3.fills, s2.fills + 1);
+
+    // An own-thread write clears the epoch announcement at with_epoch
+    // exit, so the next read batch re-announces and ticks the read
+    // generation: entries drop by generation (never dereferencing the
+    // version pointer), then refill.
+    ASSERT_TRUE(m.remove(7));
+    ASSERT_TRUE(m.insert(7, 72));
+    EXPECT_EQ(m.find(7), std::optional<uint64_t>(72));
+    cache_t::stats s4 = cache.counters();
+    EXPECT_EQ(s4.invalidated, s3.invalidated + 1);
+    EXPECT_EQ(s4.fills, s3.fills + 1);
+
+    // Cross-store isolation: a second store's same-key entries live under
+    // a different (process-unique) owner id, so neither store's reads can
+    // be served from the other's captures.
+    map_try m2(1);
+    ASSERT_TRUE(m2.insert(7, 99));
+    EXPECT_EQ(m2.find(7), std::optional<uint64_t>(99));
+    EXPECT_EQ(m.find(7), std::optional<uint64_t>(72));
+    EXPECT_EQ(m2.find(7), std::optional<uint64_t>(99));
+  }).join();
+}
+
 INSTANTIATE_TEST_SUITE_P(Modes, ShardedMapTest, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& i) {
                            return i.param ? "blocking" : "lockfree";

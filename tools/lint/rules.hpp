@@ -7,8 +7,8 @@
 //   R1  no raw atomics / volatile / raw new-delete inside CS lambdas
 //   R2  no non-idempotent calls (RNG, clocks, env, sleeps, mutable
 //       static locals) inside CS lambdas
-//   R3  every relaxed/acquire/release/acq_rel memory order in src/flock/
-//       carries a `// mo:` justification comment
+//   R3  every relaxed/acquire/release/acq_rel memory order in src/flock/,
+//       src/ds/, and src/store/ carries a `// mo:` justification comment
 //   R4  faultpoint name registry: well-formed, single-file, kind-unique,
 //       and every name armed by tests resolves to a real fault point
 //   R5  stats counters declared in stats_snapshot and the keys dumped by
@@ -64,7 +64,8 @@ inline const std::vector<rule_doc>& rule_docs() {
        "different values on replay, so two runs of the same thunk diverge "
        "and the helping protocol's lockstep argument collapses."},
       {"R3", "every relaxed/acquire/release/acq_rel order is justified",
-       "Non-seq_cst orderings in the runtime are individually "
+       "Non-seq_cst orderings in the runtime, structure, and store "
+       "layers are individually "
        "load-bearing; each use must carry a `// mo:` comment (same "
        "statement or just above) explaining why the weaker order is "
        "sufficient, or a reviewed baseline entry."},
@@ -84,14 +85,23 @@ inline const std::vector<rule_doc>& rule_docs() {
 
 struct lint_config {
   std::set<std::string> entry_points = default_entry_points();
-  // R3 applies only to files whose path contains this substring (the
-  // runtime layer, where orderings are load-bearing).
-  std::string r3_path_substr = "src/flock/";
+  // R3 applies only to files whose path contains one of these substrings:
+  // the runtime layer plus the container and store tiers, where orderings
+  // (lock words, migration publication, seqlock version words) are
+  // load-bearing.
+  std::vector<std::string> r3_path_substrs = {"src/flock/", "src/ds/",
+                                              "src/store/"};
   // Empty = run all rules; else run only these ids.
   std::set<std::string> only_rules;
 
   bool enabled(const char* id) const {
     return only_rules.empty() || only_rules.count(id) != 0;
+  }
+
+  bool r3_covers(const std::string& path) const {
+    for (const std::string& s : r3_path_substrs)
+      if (path.find(s) != std::string::npos) return true;
+    return false;
   }
 };
 
@@ -517,8 +527,7 @@ inline std::vector<finding> lint_files(const std::vector<source_file>& files,
       if (cfg.enabled("R1")) detail::run_r1(f, t, rs, out);
       if (cfg.enabled("R2")) detail::run_r2(f, t, rs, out);
     }
-    if (cfg.enabled("R3") &&
-        f.path.find(cfg.r3_path_substr) != std::string::npos)
+    if (cfg.enabled("R3") && cfg.r3_covers(f.path))
       detail::run_r3(f, t, out);
   }
   if (cfg.enabled("R4")) detail::run_r4(files, toks, out);
