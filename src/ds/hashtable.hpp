@@ -109,6 +109,39 @@ template <class K, class V, bool Strict = false>
 class hashtable {
   struct node;
 
+  // --- optimistic read-path gate -----------------------------------------
+  // The seqlock snapshot copies k/v with relaxed atomic_ref loads, and
+  // node construction stores k/v with relaxed atomic_ref stores (see
+  // node), so the by-design race between a stale-counter walk and a
+  // writer building or recycling a node is an ATOMIC race — defined
+  // behavior whose possibly-torn result the version validation discards —
+  // not UB, and TSan sees no mixed access. That needs lock-free
+  // atomic_ref coverage of the payload, plus TRIVIAL default
+  // constructibility, which buys two things: the fast path (and the memo
+  // cache's entry) materializes an empty snapshot slot before the walk
+  // decides whether to keep it, and the constructor's default-init of k/v
+  // is guaranteed to touch no memory, so the atomic stores are the ONLY
+  // payload writes a racing reader can meet. Anything else takes the
+  // logged walk unconditionally, exactly as every K/V did before the fast
+  // path existed.
+  template <class T>
+  static constexpr bool seqlock_copyable() {
+    if constexpr (std::is_trivially_copyable_v<T> && !std::is_const_v<T> &&
+                  !std::is_reference_v<T> &&
+                  std::is_trivially_default_constructible_v<T>) {
+      return std::atomic_ref<T>::is_always_lock_free &&
+             alignof(T) >= std::atomic_ref<T>::required_alignment;
+    } else {
+      return false;
+    }
+  }
+
+ public:
+  static constexpr bool kSeqlockReads =
+      seqlock_copyable<K>() && seqlock_copyable<V>();
+
+ private:
+
   /// Fields shared by a bucket head and a chain node: the link that a
   /// predecessor-of-cur may be either, and the freeze flag (a node's
   /// "deleted", a bucket's "forwarded") that validation reads through the
@@ -119,9 +152,30 @@ class hashtable {
   };
 
   struct node : chain_head {
-    const K k;
-    const V v;
-    node(K key, V val, node* nxt) : k(key), v(val) {
+    // Not const under kSeqlockReads: construction goes through atomic_ref
+    // stores (below), which need mutable fields. Nodes stay logically
+    // immutable after construction either way — nothing assigns k or v.
+    std::conditional_t<kSeqlockReads, K, const K> k;
+    std::conditional_t<kSeqlockReads, V, const V> v;
+    // Fast-path construction: an unlogged snapshot walk may read a node's
+    // fields with relaxed atomic_ref loads while the pool recycles that
+    // memory into a new node (the walk validates-then-discards), so the
+    // constructor's stores must be atomic too — plain member init would
+    // make that by-design race UB, and TSan flags exactly that pair.
+    // Default-init of k/v is a guaranteed no-op (the gate requires
+    // trivial default construction), so these are the only payload writes.
+    node(K key, V val, node* nxt) requires(kSeqlockReads) {
+      // Pre-publication stores: the chain edge that publishes the node
+      // releases, and racing snapshot readers are ordered by the seqlock
+      // validation, not by these stores.
+      // mo: relaxed — both stores below (see above).
+      std::atomic_ref<K>(k).store(key, std::memory_order_relaxed);
+      std::atomic_ref<V>(v).store(val, std::memory_order_relaxed);
+      this->next.init(nxt);
+      this->removed.init(false);
+    }
+    node(K key, V val, node* nxt) requires(!kSeqlockReads)
+        : k(key), v(val) {
       this->next.init(nxt);
       this->removed.init(false);
     }
@@ -130,17 +184,24 @@ class hashtable {
   struct bucket : chain_head {
     flock::lock lck;  // the bucket lock: every update to the chain and
                       // the bucket's one migration run under it
-    // Seqlock version word for the optimistic read path: even = quiet,
-    // odd = a writer's critical section may be in flight. Every mutation
-    // of this bucket's chain — updates AND the bucket's migration unit —
-    // is bracketed by ver_begin/ver_end around its lock acquisition (the
-    // bumps are raw RMWs and must stay OUTSIDE the idempotent thunk, see
-    // ver_begin). A reader that observes the same even value before and
-    // after an unlogged walk holds a consistent snapshot; a single later
-    // reload validating against a captured even value proves the chain
-    // unchanged since (read_probe / store/read_cache.hpp). 64-bit: never
-    // wraps, so validation is ABA-free.
-    std::atomic<uint64_t> version{0};
+    // Seqlock entry/exit counter pair for the optimistic read path.
+    // Every mutation of this bucket's chain — updates AND the bucket's
+    // migration unit — is bracketed by ver_begin (ver_enter++) / ver_end
+    // (ver_exit++) around its lock acquisition (the bumps are raw RMWs
+    // and must stay OUTSIDE the idempotent thunk, see ver_begin). The
+    // pair, not a single odd/even word, because brackets of CONTENDING
+    // writers overlap: both bump before either holds the lock, and with
+    // one word two entry bumps restore "even" while a critical section is
+    // still in flight. With the pair, ver_enter == ver_exit certifies
+    // every writer that ever entered has exited — quiescence survives any
+    // interleaving of brackets. A reader that captures v1 = ver_exit,
+    // sees ver_enter == v1, walks unlogged, and re-reads ver_enter == v1
+    // holds a consistent snapshot; a single later reload of ver_enter
+    // validating against the captured v1 proves the chain unchanged since
+    // (read_probe / store/read_cache.hpp). 64-bit monotone: never wraps,
+    // so validation is ABA-free.
+    std::atomic<uint64_t> ver_enter{0};
+    std::atomic<uint64_t> ver_exit{0};
   };
 
   struct table {
@@ -172,67 +233,56 @@ class hashtable {
   }
 
   // --- seqlock writer brackets -------------------------------------------
-  // The version bumps are raw fetch_adds and therefore NOT idempotent, so
+  // The counter bumps are raw fetch_adds and therefore NOT idempotent, so
   // they must never execute inside a lock's thunk (helpers replay thunks;
-  // a replayed bump would tear the odd/even discipline). They bracket the
-  // acquire() call instead, which is safe because acquire() returns only
-  // AFTER the critical section has fully run (lock.hpp: every return true
-  // is preceded by run_and_unlock) — helper-completed stores all land
-  // while the version is odd. A bracket around a FAILED acquire is a
-  // harmless spurious +2 (still even, readers just retry/fall back). A
-  // writer killed between the brackets leaves the version odd forever:
-  // the bucket's fast path degrades to permanent fallback, correctness is
-  // untouched (the logged walk never looks at the version).
+  // a replayed bump would tear the entry/exit accounting). They bracket
+  // the acquire() call instead, which is safe because acquire() returns
+  // only AFTER the critical section has fully run (lock.hpp: every return
+  // true is preceded by run_and_unlock) — helper-completed stores all
+  // land while ver_enter > ver_exit, i.e. while readers see a writer
+  // present. Brackets of contending writers may overlap freely: each
+  // unmatched entry keeps the pair imbalanced, so no interleaving of
+  // bumps can make the bucket look quiescent while any critical section
+  // is in flight (the single-word odd/even scheme failed exactly here).
+  // A bracket around a FAILED acquire is a harmless balanced +1/+1
+  // (readers whose window overlaps it retry/fall back). A writer killed
+  // between the brackets leaves ver_enter ahead forever: the bucket's
+  // fast path degrades to permanent fallback, correctness is untouched
+  // (the logged walk never looks at the counters).
   static void ver_begin(bucket* s) {
-    // Seqlock writer entry (Boehm): the fence orders the odd bump before
-    // every subsequent chain store, so a reader that observes any CS
-    // store and then re-reads the version through its acquire fence is
-    // guaranteed to see the odd value (or later) and discard its snapshot.
+    // Seqlock writer entry (Boehm): the fence orders the entry bump
+    // before every subsequent chain store, so a reader that observes any
+    // CS store and then re-reads ver_enter through its acquire fence is
+    // guaranteed to see this bump (or later) and discard its snapshot.
     // mo: relaxed — the release fence below carries all the ordering.
-    s->version.fetch_add(1, std::memory_order_relaxed);
+    s->ver_enter.fetch_add(1, std::memory_order_relaxed);
     // mo: release fence — the seqlock writer-entry fence just described.
     std::atomic_thread_fence(std::memory_order_release);
-    // Window: version odd, critical section not yet entered. Enumerable
-    // by the schedule explorer so torn-read candidates interleave here.
-    FLOCK_SCHEDPOINT("ht.ver.post_odd");
+    // Window: entry published, critical section not yet entered.
+    // Enumerable by the schedule explorer so torn-read candidates
+    // interleave here.
+    FLOCK_SCHEDPOINT("ht.ver.post_enter");
   }
   static void ver_end(bucket* s) {
-    // Window: critical section complete, version still odd. A kill here
-    // is the stuck-odd scenario: readers of this bucket fall back to the
-    // logged walk forever (perf loss only; see ver_begin).
-    FLOCK_FAULTPOINT("ht.ver.pre_even");
+    // Window: critical section complete, exit not yet published. A kill
+    // here is the stuck-entry scenario: readers of this bucket fall back
+    // to the logged walk forever (perf loss only; see ver_begin).
+    FLOCK_FAULTPOINT("ht.ver.pre_exit");
     // mo: release — publishes the critical section's chain stores to the
-    // acquire load of this even value (seqlock writer exit); also what
-    // lets a single acquire reload validate a memoized read.
-    s->version.fetch_add(1, std::memory_order_release);
-  }
-
-  // --- optimistic read-path gate -----------------------------------------
-  // The seqlock snapshot copies k/v with relaxed atomic_ref loads (so the
-  // by-design race against node reuse is visible to the compiler and to
-  // TSan as an ATOMIC race, not UB) and discards the copy on version
-  // mismatch. That needs lock-free atomic_ref coverage of the payload;
-  // anything else takes the logged walk unconditionally.
-  template <class T>
-  static constexpr bool seqlock_copyable() {
-    if constexpr (std::is_trivially_copyable_v<T> && !std::is_const_v<T> &&
-                  !std::is_reference_v<T>) {
-      return std::atomic_ref<T>::is_always_lock_free &&
-             alignof(T) >= std::atomic_ref<T>::required_alignment;
-    } else {
-      return false;
-    }
+    // reader's acquire load of ver_exit (seqlock writer exit): a reader
+    // whose captured v1 counts this exit sees its stores completely.
+    s->ver_exit.fetch_add(1, std::memory_order_release);
   }
 
  public:
-  static constexpr bool kSeqlockReads =
-      seqlock_copyable<K>() && seqlock_copyable<V>();
-
-  /// Validation handle filled by a successful fast-path find: the bucket
-  /// version word the snapshot was validated against and the (even) value
-  /// it held. While the word still holds `snapshot` — and the caller can
-  /// prove the bucket array was never unprotected in between (see
-  /// flock::read_guard::gen) — the returned value is still current.
+  /// Validation handle filled by a successful fast-path find: the bucket's
+  /// writer-ENTRY counter the snapshot was validated against and the
+  /// (balanced, == ver_exit at capture) value it held. While the counter
+  /// still holds `snapshot`, no writer has entered the bucket since the
+  /// validated walk, so the returned value is still current; the caller
+  /// must separately prove the bucket array itself is still allocated
+  /// before dereferencing (see g_table_retire_era above — the memo
+  /// cache's era stamp carries that proof).
   struct read_probe {
     const std::atomic<uint64_t>* version = nullptr;
     uint64_t snapshot = 0;
@@ -346,20 +396,31 @@ class hashtable {
   static constexpr int kMaxFastWalk = 64;
 
   /// Seqlock snapshot read (only instantiated when kSeqlockReads): load
-  /// version → raw walk → fence → re-load version. No logging, no lock
-  /// traffic, no epoch announce of its own (caller holds a read_guard).
+  /// ver_exit → check ver_enter balanced → raw walk → fence → re-load
+  /// ver_enter. No logging, no lock traffic, no epoch announce of its own
+  /// (caller holds a read_guard).
   int find_fast(K k, V& out, read_probe& probe, uint64_t h) {
     const table* t = root_.read_raw();
     bucket* s = &t->buckets[static_cast<std::size_t>(h) & t->mask];
-    // mo: acquire — seqlock v1: pairs with ver_end's release bump, so a
-    // snapshot taken at an even value sees every store of the critical
-    // section that published it (and of all earlier ones).
-    const uint64_t v1 = s->version.load(std::memory_order_acquire);
-    if ((v1 & 1) != 0) return kFastFallback;  // writer (or corpse) present
-    // Window: snapshot begun at an even version, chain loads not yet
-    // done. The schedule explorer preempts here to drive writers (version
-    // bumps, payload stores, migration forwards) under an in-flight
-    // snapshot — the torn-read candidates the validation must reject.
+    // mo: acquire — seqlock v1: pairs with ver_end's release bumps (RMW
+    // release sequence), so a snapshot whose captured exit count is v1
+    // sees the complete stores of all v1 exited critical sections.
+    const uint64_t v1 = s->ver_exit.load(std::memory_order_acquire);
+    // Writer-presence gate: entries bump before critical sections and
+    // exits after, so ver_enter == v1 proves every writer that ever
+    // entered this bucket had exited by the v1 load — the bucket was
+    // quiescent no matter how many writer brackets overlapped (or a
+    // killed writer left ver_enter ahead for good — then this bucket is
+    // permanently fallback-only, see ver_begin).
+    // mo: relaxed — pure early-out; the closing reload below, ordered by
+    // the acquire fence, is the load the protocol trusts.
+    if (s->ver_enter.load(std::memory_order_relaxed) != v1)
+      return kFastFallback;  // writer (or corpse) present
+    // Window: snapshot begun at a balanced counter pair, chain loads not
+    // yet done. The schedule explorer preempts here to drive writers
+    // (entry/exit bumps, payload stores, migration forwards) under an
+    // in-flight snapshot — the torn-read candidates the validation must
+    // reject.
     FLOCK_SCHEDPOINT("ht.read.post_v1");
     if (s->removed.read_raw()) return kFastFallback;  // forwarded ⇒ migrate
     node* cur = raw_next(s);
@@ -383,13 +444,18 @@ class hashtable {
     FLOCK_SCHEDPOINT("ht.read.pre_validate");
     // Seqlock validation (Boehm): if any load above observed a store made
     // after a writer's entry fence, this fence forces the re-read below
-    // to see that writer's odd bump (or later) — snapshot discarded.
+    // to see that writer's entry bump (or later) — snapshot discarded.
+    // Counting argument for overlapping writers: ver_enter is monotone
+    // and always >= ver_exit, so "ver_exit was v1 at the open AND
+    // ver_enter is still v1 here" pins ver_enter == ver_exit == v1 for
+    // the whole window — no writer was inside the bucket at any point,
+    // however many brackets raced each other before our window.
     // mo: acquire fence — the seqlock reader-exit fence just described.
     std::atomic_thread_fence(std::memory_order_acquire);
     // mo: relaxed — ordered entirely by the fence above.
-    if (s->version.load(std::memory_order_relaxed) != v1)
+    if (s->ver_enter.load(std::memory_order_relaxed) != v1)
       return kFastFallback;
-    probe.version = &s->version;
+    probe.version = &s->ver_enter;
     probe.snapshot = v1;
     return hit ? kFastHit : kFastMiss;
   }
@@ -397,8 +463,8 @@ class hashtable {
   /// Unlogged chain-pointer read for the fast path.
   static node* raw_next(const chain_head* p) {
     // mo: relaxed — snapshot traversal load; the seqlock validation (and
-    // the v1 acquire, for chains quiet since their publishing CS) orders
-    // it. Packed accessor: mutable_ has no relaxed value-typed read.
+    // the ver_exit acquire, for chains quiet since their publishing CS)
+    // orders it. Packed accessor: mutable_ has no relaxed value-typed read.
     return flock::from_bits48<node*>(
         flock::val_of(p->next.read_raw_packed_relaxed()));
   }

@@ -53,25 +53,48 @@ class epoch_manager {
 
   /// Run `f` inside an epoch-protected region. Nesting is allowed; only the
   /// outermost level announces.
+  ///
+  /// Outermost entry also takes ownership of the read_sticky state machine
+  /// (see thread_context.hpp): state 2 ("owner in region") bars the
+  /// collector's sticky-lapse from touching the announcement while this
+  /// region depends on it — the collector may otherwise wipe a sticky slot
+  /// whose announcement trails the global epoch, and an in-region
+  /// announcement legally trails by one (try_advance can move the counter
+  /// once past any announcement).
   template <class F>
   auto with_epoch(F&& f) -> decltype(f()) {
     detail::thread_context* c = detail::my_ctx();
-    if (c->epoch_depth++ == 0) announce(c);
+    uint8_t sticky_prev = 0;
+    if (c->epoch_depth++ == 0) {
+      // mo: seq_cst — claim-fence ordering with lapse_idle_sticky(): if a
+      // collector's claim (CAS 1->0) precedes this exchange, seq_cst
+      // ordering on the global counter makes announce() below re-read a
+      // global value at least as new as the one that justified the claim,
+      // so the fresh announcement lands ABOVE the collector's sampled
+      // epoch and its pending announced-wipe CAS misses. If the claim
+      // follows, it sees state 2 and skips this thread entirely.
+      sticky_prev = c->read_sticky.exchange(2, std::memory_order_seq_cst);
+      announce(c);
+    }
     struct guard {
       detail::thread_context* c;
+      uint8_t sticky_prev;
       ~guard() {
         if (--c->epoch_depth == 0) {
-          // A thread in a read batch (read_guard ran, sticky flag armed)
-          // keeps its announcement across interleaved writes: quiescing
-          // here would lapse it, bump read_gen at the next read_guard,
-          // and wipe every memoized read the thread holds — a full
-          // store/read_cache.hpp flush per own write. Staying announced
-          // is the same hazard class as read_guard's own sticky exit
-          // (documented there): reclamation of objects retired after the
-          // announced epoch waits for this thread's next announce refresh,
-          // flush(), or exit — delayed, never unbounded while active.
-          // mo: relaxed — own flag, written only by this thread.
-          if (c->read_sticky.load(std::memory_order_relaxed) == 0) {
+          if (sticky_prev != 0) {
+            // The thread is in a read batch (read_guard armed the sticky
+            // flag): keep the announcement across interleaved writes —
+            // quiescing here would force the next read in the batch to
+            // pay the full validated announce. Re-arm as claimable state
+            // 1; an idle tail is bounded by the collector's sticky-lapse
+            // (lapse_idle_sticky), not by this thread's cooperation.
+            // mo: release — the collector's claim CAS acquire-reads this
+            // 1, ordering the region's protected accesses before any
+            // free its lapse later justifies.
+            c->read_sticky.store(1, std::memory_order_release);
+          } else {
+            // mo: relaxed — own flag; 0 is never claimed, only observed.
+            c->read_sticky.store(0, std::memory_order_relaxed);
             // mo: release — quiescing: every access this thread made to
             // epoch-protected objects happens-before a collector's acquire
             // read of -1 (min_announced), so nothing can be freed under us.
@@ -79,7 +102,7 @@ class epoch_manager {
           }
         }
       }
-    } g{c};
+    } g{c, sticky_prev};
     return f();
   }
 
@@ -154,17 +177,30 @@ class epoch_manager {
     // Release sticky read announcements first (read_guard below): a thread
     // whose last operation was a batched read still pins the epoch it
     // announced, which would hold min_announced down and leave batches
-    // undrainable. flush() runs at quiescence by contract, so no reader is
-    // mid-batch and clearing the slots is safe; bumping read_gen makes the
-    // owners' memoized reads self-invalidate before the next dereference.
+    // undrainable. Claim armed-idle slots only (CAS 1 -> 0): a slot in
+    // state 2 belongs to a thread inside an epoch region, whose
+    // announcement is load-bearing — flush() nominally runs at
+    // quiescence, but being claim-based keeps it harmless against a
+    // straggler region instead of freeing memory out from under it. The
+    // owners' memoized reads self-invalidate on their next validation
+    // (the bucket entry counter / retirement era checks, not this slot).
     for (int i = 0; i < bound; i++) {
       detail::thread_context* c = &detail::g_ctx[i];
-      // mo: relaxed — quiescence contract; no concurrent owner access.
-      if (c->read_sticky.exchange(0, std::memory_order_relaxed) != 0) {
-        // mo: release — mirrors the with_epoch quiesce store.
-        c->announced.store(-1, std::memory_order_release);
-        // mo: relaxed — see the sticky-clear comment above.
-        c->read_gen.fetch_add(1, std::memory_order_relaxed);
+      // mo: acquire — pre-claim sample, same shape as lapse_idle_sticky.
+      const int64_t e = c->announced.load(std::memory_order_acquire);
+      uint8_t claim = 1;
+      // mo: seq_cst — same claim as lapse_idle_sticky (see there); an
+      // owner re-entry racing this claim re-announces above any epoch
+      // this flush's drains can free.
+      if (!c->read_sticky.compare_exchange_strong(claim, 0,
+                                                  std::memory_order_seq_cst))
+        continue;
+      if (e >= 0) {
+        int64_t expect = e;
+        // mo: seq_cst — retraction, CAS not store: if the owner slipped a
+        // region in since the sample, its fresh announcement stays.
+        c->announced.compare_exchange_strong(expect, -1,
+                                             std::memory_order_seq_cst);
       }
     }
     for (int i = 0; i < 3; i++) try_advance();
@@ -185,9 +221,6 @@ class epoch_manager {
   /// go on to read shared state (this validation is what lets reclamation
   /// trust a cached minimum, see header comment).
   void announce(detail::thread_context* c) {
-    // mo: relaxed — own slot (this thread is the only writer); only the
-    // previous value is needed, to detect movement for read_gen below.
-    int64_t prev = c->announced.load(std::memory_order_relaxed);
     // mo: relaxed — just a first guess for the validation loop; the
     // seq_cst re-read below is what the protocol trusts.
     int64_t e = global_.load(std::memory_order_relaxed);
@@ -197,16 +230,64 @@ class epoch_manager {
       e = g;
       c->announced.store(e, std::memory_order_seq_cst);
     }
-    // Any movement of this thread's announced value — including a refresh
-    // from a sticky read announcement to a newer epoch — may unpin epochs
-    // that cached pointers (read_guard batches, store/read_cache.hpp) were
-    // captured under, so it invalidates this thread's read generation.
-    // When the global epoch is static (the common case) prev == e and the
-    // generation — and with it the thread's memoized reads — survives.
-    if (prev != e)
-      // mo: relaxed — owner-written, owner-read (the read cache lives in
-      // thread-local storage); no cross-thread ordering is carried.
-      c->read_gen.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Sticky-lapse: unpin idle readers' announcements (the collector half
+  /// of the read_sticky state machine, thread_context.hpp). A sticky slot
+  /// (state 1) whose announcement trails the global counter belongs to a
+  /// thread that finished a read batch and has not come back — its pinned
+  /// epoch is the one thing that can hold reclamation down indefinitely
+  /// (an ACTIVE reader refreshes its announcement every batch). Claim the
+  /// flag (1 -> 0) so the owner cannot be mid-region, then retract the
+  /// announcement. The owner's re-entry exchange (state 2) and the claim
+  /// CAS serialize on the flag, and seq_cst ordering on the global counter
+  /// guarantees a racing re-entry re-announces ABOVE our sampled epoch, so
+  /// the retraction CAS below can never wipe a live announcement.
+  /// Called from seal_and_reclaim's backlog-persists path: one O(threads)
+  /// pass, same cost class as the announcement scan it precedes.
+  void lapse_idle_sticky() {
+    // mo: seq_cst — the claim-fence pivot: a later owner re-entry whose
+    // exchange follows our claim must re-read a global at least this new
+    // (see with_epoch), which is what makes e < g prove idleness.
+    const int64_t g = global_.load(std::memory_order_seq_cst);
+    const int bound = thread_id_bound();
+    for (int i = 0; i < bound; i++) {
+      detail::thread_context* c = &detail::g_ctx[i];
+      // mo: acquire — pairs with the owner's seq_cst announce store; the
+      // sample is only ever compared/CASed, staleness self-corrects.
+      const int64_t e = c->announced.load(std::memory_order_acquire);
+      // e == g means the reader is current: it pins nothing that an
+      // epoch advance (which this caller attempts next) cannot step
+      // past, so leave its batch amortization alone. Only e < g — the
+      // announcement is the straggler holding min_announced down — is
+      // worth retracting. (e > g is impossible: announcements validate
+      // against the counter, and the counter never advances past the
+      // minimum announcement.)
+      if (e < 0 || e >= g) continue;
+      uint8_t claim = 1;
+      // mo: seq_cst — claim: acquire-reads the owner's release store(1)
+      // (guard exit), ordering the owner's protected accesses before any
+      // free this lapse justifies; seq_cst for the claim-fence argument
+      // above. Failure = owner in region (2), already lapsed (0), or a
+      // racing collector won — all mean "hands off".
+      if (!c->read_sticky.compare_exchange_strong(
+              claim, 0, std::memory_order_seq_cst))
+        continue;
+      int64_t expect = e;
+      // mo: seq_cst — the retraction a min_announced scan may now miss
+      // this slot on; seq_cst keeps it ordered after the claim for every
+      // observer. Failure means the owner re-announced between our sample
+      // and the claim — the slot is live again, so hand the flag back.
+      if (!c->announced.compare_exchange_strong(expect, -1,
+                                                std::memory_order_seq_cst)) {
+        uint8_t zero = 0;
+        // mo: seq_cst — undo of the claim. CAS, not a store: the owner
+        // may already have re-entered (0 -> 2) and now owns the flag; a
+        // blind store(1) would corrupt an in-region state.
+        c->read_sticky.compare_exchange_strong(zero, 1,
+                                               std::memory_order_seq_cst);
+      }
+    }
   }
 
   detail::retire_batch* alloc_batch(detail::thread_context* c) {
@@ -256,7 +337,10 @@ class epoch_manager {
     // reads, which this drain's frees rely on.
     drain_sealed(c, min_bound_.load(std::memory_order_acquire));
     if (c->sealed_head != nullptr) {
-      // Backlog persists: pay for one scan + advance, refresh the cache.
+      // Backlog persists: unpin idle sticky readers first (a lapsed
+      // announcement is the one blocker an epoch advance cannot step
+      // past), then pay for one scan + advance and refresh the cache.
+      lapse_idle_sticky();
       try_advance();
       drain_sealed(c, refresh_bound());
     }
@@ -356,39 +440,49 @@ inline epoch_manager& epoch_manager::instance() noexcept {
 ///    slot is empty (-1) or the global epoch moved does it pay the full
 ///    validated announce.
 ///  * On destruction it leaves the announcement in place ("sticky",
-///    flagged in the thread context) instead of quiescing, so the next
-///    read in the batch takes the cheap path. Any later with_epoch simply
-///    overwrites the slot; thread exit and epoch_manager::flush() clear it.
+///    state 1 in the thread context's read_sticky machine) instead of
+///    quiescing, so the next read in the batch takes the cheap path. Any
+///    later with_epoch simply refreshes the slot; thread exit and
+///    epoch_manager::flush() clear it.
 ///
-/// Caveat (by design, same hazard class as a parked reader pinning its
-/// epoch): a thread that goes idle right after a read batch keeps its last
-/// epoch announced until its next operation, its exit, or a flush(). That
-/// delays reclamation of objects retired after that epoch but can never
-/// unbound it while the thread keeps reading — each new batch refreshes
-/// the announcement to the current epoch.
+/// Bounded staleness (collector-enforced): a thread that goes idle right
+/// after a read batch keeps its last epoch announced — but only until a
+/// reclaiming thread with a persistent backlog runs lapse_idle_sticky(),
+/// which claims the sticky flag (so the owner provably is not mid-region)
+/// and retracts the announcement. An ACTIVE reader is never lapsed: each
+/// new batch refreshes its announcement to the current epoch, and the
+/// collector only claims slots trailing the global counter. So sticky
+/// announcements delay reclamation by at most one collection cycle once
+/// the owner idles; they cannot pin memory for the life of the process.
 ///
-/// gen() exposes the thread's read generation (see thread_context.hpp):
-/// a pointer captured under an earlier generation may dangle and must not
-/// be dereferenced once the generation moved. store/read_cache.hpp is the
-/// intended consumer.
+/// Consumers that cache epoch-protected pointers across guards (the
+/// store-tier memoized-read cache) do NOT validate against this slot:
+/// they carry their own proof of liveness (bucket entry counters plus the
+/// bucket-array retirement era — store/read_cache.hpp), which is immune
+/// to the announcement being refreshed or lapsed in between.
 class read_guard {
  public:
   read_guard() : c_(detail::my_ctx()) {
     if (c_->epoch_depth++ == 0) {
+      // mo: seq_cst — enter state 2 (owner in region) BEFORE deciding
+      // whether to reuse the announcement: a collector claim that lands
+      // before this exchange leaves prev != 1 and we re-announce (with
+      // announce()'s seq_cst global read ordered after the claim, so the
+      // new announcement lands above the collector's sampled epoch and
+      // its pending retraction misses); a claim after it sees 2 and
+      // skips. See lapse_idle_sticky.
+      const uint8_t prev = c_->read_sticky.exchange(2, std::memory_order_seq_cst);
       // mo: relaxed — own announcement slot; only the value is compared,
       // the protocol-bearing store (if any) happens in announce().
       int64_t a = c_->announced.load(std::memory_order_relaxed);
       // mo: acquire — see current_epoch(); also keeps the comparison no
       // staler than advances this thread already observed.
       int64_t g = detail::g_epoch.global_.load(std::memory_order_acquire);
-      if (a != g) {
-        // Slot empty or the epoch moved: pay the validated announce (it
-        // bumps read_gen when the announced value actually changes).
-        detail::g_epoch.announce(c_);
-      }
-      // mo: relaxed — flag for flush()/thread-exit cleanup only; they run
-      // under the quiescence contract, not under this store's ordering.
-      c_->read_sticky.store(1, std::memory_order_relaxed);
+      // Reuse is only legal from state 1: an unclaimed sticky announcement
+      // still at the current epoch was visible to every scan since it was
+      // made. From state 0 the slot may have been retracted (collector
+      // lapse, with_epoch quiesce) — pay the validated announce.
+      if (prev != 1 || a != g) detail::g_epoch.announce(c_);
     }
   }
 
@@ -397,17 +491,14 @@ class read_guard {
 
   ~read_guard() {
     // Sticky exit: keep the announcement armed for the next read in the
-    // batch. with_epoch's own guard still quiesces normally when used.
-    --c_->epoch_depth;
-  }
-
-  /// The calling thread's read generation at guard scope. Equal values
-  /// across two guards certify the announcement never lapsed or moved in
-  /// between, i.e. epoch-protected pointers captured at the first guard
-  /// are still safe to dereference at the second.
-  uint64_t gen() const {
-    // mo: relaxed — owner-written, owner-read (see thread_context.hpp).
-    return c_->read_gen.load(std::memory_order_relaxed);
+    // batch, and return the flag to claimable state 1. with_epoch's own
+    // guard still quiesces normally when used.
+    if (--c_->epoch_depth == 0) {
+      // mo: release — the collector's claim CAS acquire-reads this 1,
+      // ordering this batch's protected loads before any free a later
+      // lapse of the announcement justifies.
+      c_->read_sticky.store(1, std::memory_order_release);
+    }
   }
 
  private:

@@ -1,36 +1,37 @@
 // read_cache.hpp — per-thread memoized-read cache for hot keys, validated
-// by bucket version words (the store-tier consumer of the hashtable's
-// optimistic read path).
+// by bucket writer-entry counters (the store-tier consumer of the
+// hashtable's optimistic read path).
 //
 // A zipf-shaped read-mostly workload spends most of its finds on a few
 // keys. The hashtable fast path already makes those wait-free-ish, but
 // still pays hash + chain walk + seqlock validation per call. This cache
 // memoizes the RESULT of a validated fast-path find — (key, presence,
-// value, bucket version word, snapshot) — and revalidates it with a single
-// acquire load of the version word: if the word still holds the snapshot,
-// no writer critical section has touched that bucket since the value was
-// read, so the result is still current. Absent results are memoized too:
-// a validated miss proves the key was not in the bucket at snapshot time,
-// and any insert to that bucket bumps the version, so an unchanged word
+// value, bucket entry-counter word, snapshot) — and revalidates it with a
+// single acquire load of that counter: if ver_enter still holds the
+// snapshot, no writer has even ENTERED that bucket since the value was
+// read (entries bump the counter before their critical section), so the
+// result is still current. Absent results are memoized too: a validated
+// miss proves the key was not in the bucket at snapshot time, and any
+// insert to that bucket bumps ver_enter, so an unchanged counter
 // certifies continued absence exactly as it certifies an unchanged value.
 // (Under a zipf read mix roughly half the hot draws are absent keys;
 // caching only hits would leave that mass paying the probe for nothing.)
 // Writers invalidate for free: every mutation of a bucket bumps its
-// version (hashtable.hpp ver_begin/ver_end), including the migration
-// engine's copy/forward/merge units, so a stale entry simply fails its
-// next validation. No write-side hook, no cross-thread cache traffic —
-// the cache is thread-local and entries are only ever touched by their
-// owner.
+// entry counter (hashtable.hpp ver_begin/ver_end), including the
+// migration engine's copy/forward/merge units, so a stale entry simply
+// fails its next validation. No write-side hook, no cross-thread cache
+// traffic — the cache is thread-local and entries are only ever touched
+// by their owner.
 //
-// Safety of the dereference (the version word lives inside a bucket array
+// Safety of the dereference (the counter word lives inside a bucket array
 // that a resize can retire): an entry may only be validated while the
 // reader can prove the array is still allocated. The proof is the
 // process-wide bucket-array retirement era (ds/hashtable.hpp
 // g_table_retire_era) plus the caller's armed epoch announcement:
 //
 //  1. A validated read_probe certifies its bucket was root-table and
-//     unforwarded as of the probe's closing version load (forwarding
-//     bumps the version, so a forward inside the snapshot window fails
+//     unforwarded as of the probe's closing counter load (forwarding
+//     bumps ver_enter, so a forward inside the snapshot window fails
 //     validation) — and a table is only retired after every bucket is
 //     forwarded, so the array's retirement, if it ever comes, strictly
 //     follows the capture.
@@ -43,12 +44,13 @@
 //     announcement (read_guard keeps it armed across the whole find), so
 //     its free cannot run until the reader lets go.
 //
-// An earlier design validated against flock::read_guard::gen() — "drop
-// the entry whenever the thread's announcement moved". That is sound but
-// brutally conservative: every epoch advance (i.e., ordinary update
-// churn) wiped the whole cache, which under a 95/5 mix meant a full
-// flush every few dozen operations. The era check invalidates on actual
-// resizes only.
+// An earlier design considered validating against the owning thread's
+// epoch announcement generation — "drop the entry whenever the
+// announcement moved". That is sound but brutally conservative: every
+// epoch advance (i.e., ordinary update churn) wiped the whole cache,
+// which under a 95/5 mix meant a full flush every few dozen operations.
+// The era check invalidates on actual resizes only, so the generation
+// machinery was never shipped; this cache is the retirement-era design.
 //
 // Owner identity: entries also record a process-unique id of the owning
 // store (not its address — a destroyed store's address can be recycled,
@@ -106,8 +108,8 @@ class read_cache {
   struct alignas(64) entry {
     uint64_t owner = 0;     // store id; 0 = empty
     uint64_t era = 0;       // bucket-array retirement era at capture
-    uint64_t snapshot = 0;  // even version value the read validated against
-    const std::atomic<uint64_t>* version = nullptr;  // bucket version word
+    uint64_t snapshot = 0;  // entry-counter value the read validated against
+    const std::atomic<uint64_t>* version = nullptr;  // bucket ver_enter word
     K key{};
     V value{};              // meaningful only when present
     bool present = false;   // validated hit vs validated absence
@@ -138,7 +140,7 @@ class read_cache {
   /// Validated lookup. Returns the entry iff it holds this (store, key),
   /// no bucket array was retired since capture (`era` — the caller loads
   /// g_table_retire_era under its armed read_guard and passes it in), and
-  /// the bucket version word still holds the captured snapshot; the
+  /// the bucket entry counter still holds the captured snapshot; the
   /// caller reads present/value from it. Must be called under a
   /// read_guard (the armed announcement keeps a racing retirement's free
   /// blocked across the version dereference; see the header comment).
@@ -158,13 +160,15 @@ class read_cache {
       stats_.invalidated++;
       return nullptr;
     }
-    // mo: acquire — single-load validation: pairs with ver_end's release
-    // bump, so an unchanged snapshot proves no critical section completed
-    // on the bucket since capture (and an in-flight writer shows as odd).
+    // Single-load validation of ver_enter: an unchanged snapshot proves
+    // no writer ENTERED the bucket since capture — neither a completed
+    // critical section nor an in-flight one can hide, because both bump
+    // the entry counter before touching the chain.
+    // mo: acquire — pairs with ver_begin's release fence (see above).
     if (e.version->load(std::memory_order_acquire) != e.snapshot) {
-      // A writer critical section touched the bucket. Stale, not evicted
-      // (version words only grow — this snapshot can never match again);
-      // see the era branch above for why the entry keeps its slot.
+      // A writer entered the bucket. Stale, not evicted (entry counters
+      // only grow — this snapshot can never match again); see the era
+      // branch above for why the entry keeps its slot.
       stats_.invalidated++;
       return nullptr;
     }

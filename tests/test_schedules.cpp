@@ -619,8 +619,8 @@ TEST_F(ScheduleTest, SeededWalkSweepOverGrowScenario) {
 //
 // The PR-9 read path added reader-side windows (ht.read.post_v1 /
 // ht.read.pre_validate: snapshot begun / loads done but unvalidated) and
-// writer-side windows (ht.ver.post_odd / ht.ver.pre_even: version odd
-// before and after the critical section). These scenarios enumerate a
+// writer-side windows (ht.ver.post_enter / ht.ver.pre_exit: entry counter
+// ahead before and after the critical section). These scenarios enumerate a
 // validated reader against a writer replacing the same key's payload
 // (remove + re-insert — the write API's payload mutation) and against the
 // migration engine's forwards, in BOTH lock modes, asserting on every
@@ -729,13 +729,14 @@ TEST_F(ScheduleTest, ValidatedReadVsPayloadWriteExhaustiveBothModes) {
 }
 
 // Kills composed with the read/version windows. The interesting victim is
-// a writer dead at ht.ver.post_odd: the bucket's version is odd forever
-// (until revival), so every fast-path read of that bucket must fall back
-// to the logged walk — and still return only linearizable values. Reader
-// kills check the other direction: a dead reader's revived replay is
-// harmless. Assertions are identical; revival drains the victim before
-// on_final, so the exact final state must also converge.
-TEST_F(ScheduleTest, ValidatedReadStuckOddVersionWithKills) {
+// a writer dead at ht.ver.post_enter: the bucket's ver_enter stays ahead
+// of ver_exit forever (until revival), so every fast-path read of that
+// bucket must fall back to the logged walk — and still return only
+// linearizable values. Reader kills check the other direction: a dead
+// reader's revived replay is harmless. Assertions are identical; revival
+// drains the victim before on_final, so the exact final state must also
+// converge.
+TEST_F(ScheduleTest, ValidatedReadStuckCounterWithKills) {
   for (bool blocking : {false, true}) {
     auto st = std::make_shared<vread_state>();
     sched::scenario sc = make_validated_read_scenario(
@@ -764,7 +765,7 @@ TEST_F(ScheduleTest, ValidatedReadStuckOddVersionWithKills) {
 // (as in the grow scenarios) and the writer's insert migrates units,
 // forwarding source buckets. The contended read targets key 55, resident
 // since before the resize: the fast path must either snapshot it from a
-// still-live source bucket (version even, not forwarded) or detect the
+// still-live source bucket (counters balanced, not forwarded) or detect the
 // forward/bump and fall back — in EVERY interleaving of the reader's
 // windows with copy publication and forwarded-flag publication, find(55)
 // returns exactly 55.
