@@ -1,0 +1,457 @@
+// service.hpp — the batched asynchronous serving front end over the
+// store tier: MPSC request rings + flat-combining batch execution.
+//
+// Shape (the one a real serving system has): clients enqueue POD request
+// records (request.hpp) onto bounded per-ring MPSC queues
+// (ring_queue.hpp) and wait on client-owned completion slots; the
+// consumer side dequeues *batches* and executes the whole batch against
+// sharded_map under a single epoch entry. Two things make the batch
+// cheaper than the same ops issued directly:
+//
+//  * Amortized entry: one `with_epoch` brackets the whole batch, so
+//    every inner epoch entry (each op's with_epoch, each find's
+//    read_guard) nests for free — the per-op seq_cst announce that
+//    dominates a warm op's fixed cost is paid once per batch.
+//  * Flat combining: rings are shard-affine (all keys of a shard land in
+//    one ring), and a per-ring combiner lock serializes consumers — so N
+//    clients hammering a hot shard become ONE thread executing their
+//    combined batch without lock contention, helping traffic, or
+//    descriptor churn. Waiting clients do not burn their time slice
+//    polling: submit-and-wait tries to BECOME the combiner (drain the
+//    ring itself) whenever the lock is free, so the pipeline needs no
+//    dedicated server thread to make progress — dedicated servers
+//    (serve()) are an optional deployment shape, not a liveness
+//    requirement.
+//
+// Where each of the two actually pays (measured, bench/
+// service_pipeline.cpp; recorded in BENCH_micro.json `pr10_service`):
+// with BLOCKING locks under oversubscription, direct callers collapse —
+// a client preempted while holding a bucket lock stalls every other
+// thread that wants that bucket for the rest of its quantum (14.0 ->
+// 3.9 Mops from 1 to 16 clients on the 1-core box) — while the combiner
+// lock keeps at most one thread executing store ops at a time, so
+// bucket locks stay uncontended and the sleeping waiters keep the
+// runqueue short; the piped side holds ~5-6.5 Mops for 1.48x direct at
+// 16 clients. With LOCK-FREE locks the
+// runtime already absorbs preemption by helping — the paper's own
+// mechanism — so the pipeline's ring round trip is pure overhead there
+// and the direct path wins; the service tier earns its cost in blocking
+// deployments, under real multicore contention, or when the async API
+// itself is the point. The epoch amortization is real but small on this
+// box (~4%): sticky read_guard announcements already amortized the
+// seq_cst entry for reads.
+//
+// Batch execution order: reads first, grouped (each through the
+// memoized-read cache and the optimistic find path), then writes.
+// Within one batch a read may therefore be served before an
+// earlier-enqueued write from a DIFFERENT client; a client that needs
+// read-your-write orders its own requests by waiting for the write's
+// completion before submitting the read (the closed-loop helpers do
+// exactly that). Completion publication is per-op and exactly-once: the
+// ring hands each record to exactly one drain, and a drain publishes
+// each popped record once — a parked (chaos-killed) combiner still owns
+// its popped batch and completes it on release, which the chaos tests
+// assert window by window.
+//
+// Double-read façade (the pending item from sharded_map::rebalance_into):
+// during a live rebalance window — begin_rebalance(dst) armed, a
+// rebalancer looping rebalance_step() — service-tier reads probe the
+// PRIMARY first and fall back to the rebalance target. Source-first is
+// load-bearing, not a style choice: the cross-store move publishes the
+// key in the destination strictly BEFORE hiding it in the source
+// (hashtable try_move: `tprev->next = moved` precedes `fcur->removed =
+// true`, and the idempotence log preserves that effect order across
+// helper replays), so a key mid-move is visible in at least one store at
+// every instant. Probing source first makes that airtight: "absent in
+// source" linearizes after the source-side removal, which the move
+// orders after the destination-side publication — so the destination
+// probe that follows must find the key. The reverse order (destination
+// first) admits a miss: destination probed before the publication,
+// source probed after the removal. Writes during a window route to the
+// primary (inserts) or to both stores (removes — the key may live on
+// either side); callers quiesce writes and loop rebalance_step to
+// drained before cutting over, the same discipline rebalance_into
+// documents.
+//
+// Fault points (FLOCK_CHAOS test builds only, erased otherwise):
+//   svc.enqueue.post_push   request published to the ring, submitter not
+//                           yet waiting (a killed CLIENT leaves a request
+//                           the combiner must still complete)
+//   svc.drain.post_pop      batch popped, not yet executed (a killed
+//                           combiner owns in-flight requests; release
+//                           resumes and completes them exactly once)
+//   svc.exec.pre_complete   op executed, completion not yet published
+//                           (the hardest window: work done, waiter blind)
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "chaos/faultpoint.hpp"
+#include "flock/flock.hpp"
+#include "service/request.hpp"
+#include "service/ring_queue.hpp"
+#include "store/sharded_map.hpp"
+
+namespace flock_service {
+
+/// Log2-bucketed counter histogram for batch sizes and queue depths
+/// (bucket 0 counts zeros, bucket i counts [2^(i-1), 2^i)). Relaxed
+/// single-word adds; monitoring only, like the flock stat counters.
+struct histogram {
+  static constexpr int kBuckets = 17;  // zeros + values up to 2^15, + tail
+  std::atomic<uint64_t> buckets[kBuckets] = {};
+
+  static int bucket_of(uint64_t v) {
+    const int b = v == 0 ? 0 : std::bit_width(v);
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  void add(uint64_t v) {
+    // mo: relaxed — monitoring counter; no ordering with the observed
+    // event is needed.
+    buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t count(int b) const {
+    // mo: relaxed — monitoring read, same contract as add.
+    return buckets[b].load(std::memory_order_relaxed);
+  }
+};
+
+template <class K, class V, bool Strict = false>
+class service {
+ public:
+  using store_t = flock_store::sharded_map<K, V, Strict>;
+  using request_t = request<K, V>;
+  using completion_t = completion<V>;
+
+  struct options {
+    std::size_t rings = 1;          // rounded to a power of two <= shards
+    std::size_t ring_capacity = 1024;  // per ring, rounded to a power of two
+    std::size_t max_batch = 64;        // drain bound per combining pass
+  };
+
+  explicit service(store_t& primary, options o = {}) : primary_(primary) {
+    std::size_t r = 1;
+    while (r < o.rings) r <<= 1;
+    // Shard affinity: ring index is a suffix of the shard index, so one
+    // shard's keys never split across rings; more rings than shards would
+    // leave the excess permanently empty.
+    if (r > primary.shard_count()) r = primary.shard_count();
+    max_batch_ = o.max_batch == 0 ? 1 : o.max_batch;
+    rings_.reserve(r);
+    for (std::size_t i = 0; i < r; i++)
+      rings_.push_back(
+          std::make_unique<ring_state>(o.ring_capacity, max_batch_));
+  }
+
+  store_t& store() { return primary_; }
+  std::size_t ring_count() const { return rings_.size(); }
+  std::size_t ring_of(K k) const {
+    return primary_.shard_of(k) & (rings_.size() - 1);
+  }
+
+  /// Non-blocking async submit. The caller must have arm()ed
+  /// `r.done` and keep both the completion and any referenced storage
+  /// alive until the completion publishes. Returns false on a full ring
+  /// (backpressure — the request was NOT enqueued and is retryable;
+  /// counted in svc_ring_full).
+  bool try_submit(const request_t& r) { return try_submit_to(ring_of(r.key), r); }
+
+  /// Closed-loop helpers: submit one op and combine while waiting. These
+  /// make the service a drop-in Set for the workload driver (run_mixed /
+  /// run_churn drive them as closed-loop clients).
+  /// In the degenerate no-combining configuration (max_batch == 1) the
+  /// sync helpers skip the completion slot too: the caller IS the
+  /// executor, so the result can flow back as a return value instead of
+  /// a publish/ready round trip through an atomic stack slot. execute()
+  /// keeps the full completion contract at any max_batch for callers
+  /// that hold their own slots.
+  std::optional<V> find(K k) {
+    if (max_batch_ == 1) return facade_find(k);
+    completion_t c;
+    execute({op_kind::find, k, V{}, &c});
+    return c.ok ? std::optional<V>(c.value) : std::nullopt;
+  }
+  bool insert(K k, V v) {
+    if (max_batch_ == 1)
+      return execute_write({op_kind::insert, k, v, nullptr});
+    completion_t c;
+    execute({op_kind::insert, k, v, &c});
+    return c.ok;
+  }
+  bool remove(K k) {
+    if (max_batch_ == 1)
+      return execute_write({op_kind::remove, k, V{}, nullptr});
+    completion_t c;
+    execute({op_kind::remove, k, V{}, &c});
+    return c.ok;
+  }
+  /// Move `k` from the primary into the armed rebalance target through
+  /// the pipeline (false when no window is armed or the key raced away).
+  bool move_to_target(K k) {
+    if (max_batch_ == 1)
+      return execute_write({op_kind::move, k, V{}, nullptr});
+    completion_t c;
+    execute({op_kind::move, k, V{}, &c});
+    return c.ok;
+  }
+
+  /// Submit-and-wait with combining: push (helping drain a full ring
+  /// through the backpressure), then alternate "am I done?" with "can I
+  /// be the combiner?" — a waiting client either makes global progress
+  /// or yields, never spins the ring hot.
+  ///
+  /// Degenerate configuration: max_batch == 1 turns combining off, and a
+  /// combining pass of one op has all of the pipeline's fixed cost (ring
+  /// round trip, combiner handoff, batch accounting) and none of its
+  /// benefit — so the closed-loop path executes inline instead, with the
+  /// same façade semantics and the same completion contract. "No
+  /// batching" then costs what a direct store call costs. Async submits
+  /// (try_submit + drain/serve) flow through the ring at any max_batch.
+  ///
+  /// The queued path lives in a separate noinline member: with the ring
+  /// loops (and transitively the whole combining pass) folded into
+  /// execute(), the inliner gave up on the entire chain and every
+  /// degenerate-mode op paid a spilled out-of-line call — measured ~0.65x
+  /// a direct store call where the same work hand-inlined costs ~1.0x.
+  void execute(request_t r) {
+    r.done->arm();
+    if (max_batch_ == 1) {
+      if (r.kind == op_kind::find) {
+        std::optional<V> f = facade_find(r.key);
+        publish(r, f.has_value(), f.has_value() ? *f : V{});
+      } else {
+        publish(r, execute_write(r), V{});
+      }
+      return;
+    }
+    execute_queued(r);
+  }
+
+#if defined(__GNUC__)
+  __attribute__((noinline))
+#endif
+  void execute_queued(request_t r) {
+    const std::size_t ri = ring_of(r.key);
+    while (!try_submit_to(ri, r)) drain(ri);
+    // Waiting discipline: combine if possible, then yield a couple of
+    // times, then back off to real sleeps. On an oversubscribed core the
+    // sleeps are load-bearing: yield-spinning waiters stay runnable and
+    // force a context-switch rotation through every waiter each time the
+    // combiner is preempted, and that churn — not the ring round trip —
+    // is what caps pipelined throughput under oversubscription. Sleeping
+    // waiters leave the runqueue, so the combiner gets whole quanta, and
+    // a waiter that wakes while the combiner is parked drains the ring
+    // itself (progress never depends on the sleeper's timer).
+    int idle = 0;
+    while (!r.done->ready()) {
+      if (drain(ri) != 0) {
+        idle = 0;
+        continue;
+      }
+      if (r.done->ready()) break;
+      ++idle;
+      if (idle <= 2) {
+        std::this_thread::yield();
+      } else {
+        const int shift = idle - 3 < 4 ? idle - 3 : 4;
+        std::this_thread::sleep_for(std::chrono::microseconds(50L << shift));
+      }
+    }
+  }
+
+  /// One combining pass over ring `ri`: try to take the combiner lock,
+  /// pop a batch, execute it under a single epoch entry, publish the
+  /// completions. Returns the number of requests executed (0 when the
+  /// ring was empty or another combiner holds the lock).
+  std::size_t drain(std::size_t ri) {
+    ring_state& rs = *rings_[ri];
+    // mo: acquire — combiner lock: pairs with the release below, ordering
+    // the previous combiner's consumer-side ring state (head index,
+    // scratch batch) before this pass reuses them.
+    if (rs.combiner.exchange(1, std::memory_order_acquire) != 0) return 0;
+    const std::size_t n = rs.q.pop_up_to(rs.batch.get(), max_batch_);
+    if (n != 0) {
+      // Window: batch popped and owned by this combiner, nothing
+      // executed. A kill here parks the combiner holding both the lock
+      // and the in-flight requests; release resumes and completes them.
+      FLOCK_FAULTPOINT("svc.drain.post_pop");
+      execute_batch(rs.batch.get(), n);
+      namespace fd = flock::detail;
+      // mo: relaxed (both) — monotonic monitoring counters.
+      fd::g_svc_batches.fetch_add(1, std::memory_order_relaxed);
+      fd::g_svc_batch_ops.fetch_add(n, std::memory_order_relaxed);
+      fd::bump_max(fd::g_svc_batch_max, n);
+      batch_hist_.add(n);
+    }
+    // mo: release — hands the consumer-side state to the next combiner's
+    // acquire exchange.
+    rs.combiner.store(0, std::memory_order_release);
+    return n;
+  }
+
+  /// Dedicated server loop: round-robin drain of the rings owned by
+  /// server `id` of `servers` (ring i belongs to server i % servers),
+  /// yielding when a full sweep found nothing. Optional — clients combine
+  /// on their own — but it models the deployment where server threads own
+  /// shard-affine rings and absorb the execution work entirely. After
+  /// `stop`, one final sweep completes anything already enqueued.
+  void serve(std::size_t id, std::size_t servers,
+             const std::atomic<bool>& stop) {
+    if (servers == 0) servers = 1;
+    // mo: acquire — stop release-stored by the controller; ordering here
+    // guarantees the final sweep below sees every push that
+    // happened-before the stop store.
+    while (!stop.load(std::memory_order_acquire)) {
+      std::size_t did = 0;
+      for (std::size_t r = id; r < rings_.size(); r += servers)
+        did += drain(r);
+      if (did == 0) std::this_thread::yield();
+    }
+    for (std::size_t r = id; r < rings_.size(); r += servers)
+      while (drain(r) != 0) {
+      }
+  }
+
+  // --- double-read façade over a live rebalance window ----------------------
+
+  /// Arm the window: service-tier reads now fall back to `dst`, writes
+  /// become window-aware (see the header comment). `dst` must outlive
+  /// the window.
+  void begin_rebalance(store_t& dst) {
+    // mo: release — publishes the target's construction to the acquire
+    // loads on the read/write paths.
+    rebalance_dst_.store(&dst, std::memory_order_release);
+  }
+
+  /// One budgeted migration pass primary -> target (a thin wrapper over
+  /// rebalance_into so the rebalancer can run as just another client of
+  /// the service object). Callers loop until a pass reports nothing
+  /// moved and nothing exhausted, then end_rebalance().
+  typename store_t::rebalance_report rebalance_step(
+      std::size_t budget, int attempts_per_key = 1 << 10) {
+    store_t* dst = rebalance_target();
+    if (dst == nullptr) return {};
+    return primary_.rebalance_into(*dst, budget, attempts_per_key);
+  }
+
+  void end_rebalance() {
+    // mo: release — symmetric with begin_rebalance; the null store only
+    // retracts the fallback.
+    rebalance_dst_.store(nullptr, std::memory_order_release);
+  }
+
+  store_t* rebalance_target() const {
+    // mo: acquire — pairs with begin_rebalance's release store; a
+    // non-null target's construction happens-before any probe of it.
+    return rebalance_dst_.load(std::memory_order_acquire);
+  }
+
+  const histogram& batch_histogram() const { return batch_hist_; }
+  const histogram& depth_histogram() const { return depth_hist_; }
+
+ private:
+  struct alignas(64) ring_state {
+    ring_queue<request_t> q;
+    std::atomic<uint32_t> combiner{0};  // 0 = free; serializes consumers
+    // Drain scratch, guarded by the combiner lock (handed combiner to
+    // combiner through its acquire/release pair).
+    std::unique_ptr<request_t[]> batch;
+    ring_state(std::size_t cap, std::size_t max_batch)
+        : q(cap), batch(new request_t[max_batch]) {}
+  };
+
+  bool try_submit_to(std::size_t ri, const request_t& r) {
+    ring_state& rs = *rings_[ri];
+    if (!rs.q.try_push(r)) {
+      // mo: relaxed — monotonic monitoring counter.
+      flock::detail::g_svc_ring_full.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    const uint64_t depth = rs.q.approx_size();
+    flock::detail::bump_max(flock::detail::g_svc_depth_hw, depth);
+    depth_hist_.add(depth);
+    // Window: request visible to combiners, submitter not yet waiting.
+    FLOCK_FAULTPOINT("svc.enqueue.post_push");
+    return true;
+  }
+
+  /// Execute one popped batch under ONE epoch entry: reads first, grouped
+  /// (through the memo cache / optimistic path), then writes. Inner epoch
+  /// entries (each op's with_epoch, each find's read_guard) nest for
+  /// free under the outer region.
+  void execute_batch(request_t* b, std::size_t n) {
+    flock::with_epoch([&] {
+      for (std::size_t i = 0; i < n; i++) {
+        if (b[i].kind != op_kind::find) continue;
+        std::optional<V> r = facade_find(b[i].key);
+        publish(b[i], r.has_value(), r.has_value() ? *r : V{});
+      }
+      for (std::size_t i = 0; i < n; i++) {
+        if (b[i].kind == op_kind::find) continue;
+        publish(b[i], execute_write(b[i]), V{});
+      }
+      return true;
+    });
+  }
+
+  static void publish(request_t& r, bool ok, V v) {
+    // Window: op executed, completion unpublished — the waiter is blind
+    // to finished work until the release store in publish().
+    FLOCK_FAULTPOINT("svc.exec.pre_complete");
+    r.done->publish(ok, v);
+  }
+
+  /// Source-first double read (see the header comment for why this order
+  /// cannot miss a mid-move key, and why destination-first can).
+  std::optional<V> facade_find(K k) {
+    std::optional<V> r = primary_.find(k);
+    if (!r.has_value()) {
+      store_t* dst = rebalance_target();
+      if (dst != nullptr) r = dst->find(k);
+    }
+    return r;
+  }
+
+  bool execute_write(const request_t& r) {
+    switch (r.kind) {
+      case op_kind::insert:
+        // Window writes land in the primary; the rebalance loop carries
+        // them over (callers quiesce writes before cutover).
+        return primary_.insert(r.key, r.value);
+      case op_kind::remove: {
+        // The key may live on either side of a live window: apply to
+        // both (set semantics — removed iff it was resident anywhere).
+        const bool a = primary_.remove(r.key);
+        store_t* dst = rebalance_target();
+        const bool b = dst != nullptr && dst->remove(r.key);
+        return a || b;
+      }
+      case op_kind::move: {
+        store_t* dst = rebalance_target();
+        return dst != nullptr &&
+               flock_ds::move_retry_ex(primary_, *dst, r.key, 1 << 10) ==
+                   flock_ds::move_outcome::moved;
+      }
+      case op_kind::find:
+        break;  // handled in the read group
+    }
+    return false;
+  }
+
+  store_t& primary_;
+  std::atomic<store_t*> rebalance_dst_{nullptr};
+  std::vector<std::unique_ptr<ring_state>> rings_;
+  std::size_t max_batch_ = 64;
+  histogram batch_hist_;
+  histogram depth_hist_;
+};
+
+}  // namespace flock_service

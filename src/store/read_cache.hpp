@@ -93,6 +93,20 @@ class read_cache {
 #define FLOCK_READCACHE_SLOTS 4096
 #endif
   static constexpr std::size_t kSlots = FLOCK_READCACHE_SLOTS;
+  // 2-way set-associative over the same total entry count (kSlots/2 sets
+  // of 2 ways). Direct mapping made every index collision a fight to the
+  // death: two hot keys landing on one slot evicted each other on every
+  // alternating draw (or, with credit armed, locked each other out), so a
+  // colliding pair degraded to the uncached path no matter how hot both
+  // were. A second way turns that worst case into "both stay resident";
+  // the price is one extra line probed on lookup, paid only when way 0
+  // misses. Victim choice is credit-order (evict the way with less proven
+  // heat), with the same sampled-admission + second-chance gates as
+  // before applied against that victim.
+  static constexpr std::size_t kWays = 2;
+  static constexpr std::size_t kSets = kSlots / kWays;
+  static_assert(kSlots >= 2 * kWays && (kSlots & (kSlots - 1)) == 0,
+                "FLOCK_READCACHE_SLOTS must be a power of two >= 4");
   // Hit-earned eviction credit cap: high enough that a hot key survives
   // the tail draws between its own draws, low enough that a key that went
   // cold drains in a few fills and frees the slot.
@@ -116,6 +130,13 @@ class read_cache {
     uint8_t credit = 0;     // second-chance eviction protection (see fill)
   };
 
+  /// One associative set: kWays line-aligned entries, probed in order.
+  /// A (store, key) pair lives in at most one way — fill refreshes a
+  /// matching way in place before it ever considers eviction.
+  struct set {
+    entry ways[kWays];
+  };
+
   struct stats {
     uint64_t hits = 0;         // validated returns (present or absent)
     uint64_t misses = 0;       // empty/other-key/other-store slots
@@ -124,17 +145,17 @@ class read_cache {
     uint64_t denied = 0;       // fills rejected by an incumbent's credit
   };
 
-  /// The slot a (store, key-hash) pair maps to. `h` is the key's
-  /// hashtable::hash_of word, computed ONCE per find by the store tier and
-  /// shared with shard routing (top bits) and bucket indexing (low bits);
-  /// the slot takes middle bits so the three decisions stay independent.
-  /// Callers hand the same entry to lookup and fill — the fill after a
-  /// cache miss must not pay a second index computation on the hot path.
-  /// XORing the store id in keeps two stores' hot keys from
-  /// systematically colliding on the same slots (a collision is only ever
+  /// The associative set a (store, key-hash) pair maps to. `h` is the
+  /// key's hashtable::hash_of word, computed ONCE per find by the store
+  /// tier and shared with shard routing (top bits) and bucket indexing
+  /// (low bits); the set index takes middle bits so the three decisions
+  /// stay independent. Callers hand the same set to lookup and fill — the
+  /// fill after a cache miss must not pay a second index computation on
+  /// the hot path. XORing the store id in keeps two stores' hot keys from
+  /// systematically colliding on the same sets (a collision is only ever
   /// a perf event — lookup still compares owner and key exactly).
-  entry& slot_for(uint64_t owner, uint64_t h) {
-    return slots_[static_cast<std::size_t>((h >> 24) ^ owner) & (kSlots - 1)];
+  set& slot_for(uint64_t owner, uint64_t h) {
+    return sets_[static_cast<std::size_t>((h >> 24) ^ owner) & (kSets - 1)];
   }
 
   /// Validated lookup. Returns the entry iff it holds this (store, key),
@@ -144,11 +165,18 @@ class read_cache {
   /// caller reads present/value from it. Must be called under a
   /// read_guard (the armed announcement keeps a racing retirement's free
   /// blocked across the version dereference; see the header comment).
-  const entry* lookup(entry& e, uint64_t owner, K k, uint64_t era) {
-    if (e.owner != owner || !(e.key == k)) {
+  const entry* lookup(set& s, uint64_t owner, K k, uint64_t era) {
+    entry* match = nullptr;
+    for (entry& w : s.ways)
+      if (w.owner == owner && w.key == k) {
+        match = &w;
+        break;  // fill keeps a pair in at most one way
+      }
+    if (match == nullptr) {
       stats_.misses++;
       return nullptr;
     }
+    entry& e = *match;
     if (e.era != era) {
       // Some bucket array somewhere was retired since capture: this
       // entry's version pointer may dangle and must not be dereferenced.
@@ -202,10 +230,35 @@ class read_cache {
   ///    instead of replacing, so only keys drawn more often than the
   ///    (sampled) challenger traffic through their slot can hold it —
   ///    exactly the hot set.
-  void fill(entry& e, uint64_t owner, K k, const std::optional<V>& r,
+  void fill(set& s, uint64_t owner, K k, const std::optional<V>& r,
             const std::atomic<uint64_t>* version, uint64_t snapshot,
             uint64_t era) {
-    const bool same = e.owner == owner && e.key == k;
+    // Way choice, in priority order: the way already holding this pair
+    // (refresh in place — never leaves a duplicate behind), else an empty
+    // way (free real estate, no incumbent to protect), else the occupied
+    // way with the LEAST hit-earned credit (evict the colder of the two;
+    // this is where associativity beats direct mapping — the hotter
+    // co-resident key is never the one on the block).
+    entry* target = nullptr;
+    bool same = false;
+    for (entry& w : s.ways)
+      if (w.owner == owner && w.key == k) {
+        target = &w;
+        same = true;
+        break;
+      }
+    if (target == nullptr)
+      for (entry& w : s.ways)
+        if (w.owner == 0) {
+          target = &w;
+          break;
+        }
+    if (target == nullptr) {
+      target = &s.ways[0];
+      for (entry& w : s.ways)
+        if (w.credit < target->credit) target = &w;
+    }
+    entry& e = *target;
     if (!same && e.owner != 0) {
       if ((++tick_ & (kFillPeriod - 1)) != 0 || e.credit > 0) {
         if (e.credit > 0 && (tick_ & (kFillPeriod - 1)) == 0) e.credit--;
@@ -225,13 +278,14 @@ class read_cache {
   }
 
   void clear() {
-    for (entry& e : slots_) e.owner = 0;
+    for (set& s : sets_)
+      for (entry& e : s.ways) e.owner = 0;
   }
 
   const stats& counters() const { return stats_; }
 
  private:
-  entry slots_[kSlots];
+  set sets_[kSets];
   uint32_t tick_ = 0;  // sampled-admission ticket counter
   stats stats_;
 };
